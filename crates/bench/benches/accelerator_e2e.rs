@@ -1,0 +1,25 @@
+//! Criterion benchmark of an end-to-end SpGEMM run on the cycle-level
+//! accelerator model (small Cora-like analog, Tile-4 vs Tile-16).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neura_chip::accelerator::Accelerator;
+use neura_chip::config::{ChipConfig, TileSize};
+use neura_sparse::gen::GraphGenerator;
+
+fn bench_accelerator(c: &mut Criterion) {
+    let a = GraphGenerator::power_law(128, 900, 2.1, 5).generate().to_csr();
+    let mut group = c.benchmark_group("accelerator_e2e");
+    group.sample_size(10);
+    for tile in [TileSize::Tile4, TileSize::Tile16] {
+        group.bench_with_input(BenchmarkId::from_parameter(tile.name()), &tile, |b, &tile| {
+            b.iter(|| {
+                let mut chip = Accelerator::new(ChipConfig::for_tile_size(tile));
+                chip.run_spgemm(&a, &a).expect("simulation drains").report.total_cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accelerator);
+criterion_main!(benches);

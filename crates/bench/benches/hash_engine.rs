@@ -1,0 +1,34 @@
+//! Criterion benchmark of the NeuraMem hash-engine accumulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neura_chip::config::{ChipConfig, EvictionPolicy};
+use neura_chip::isa::HaccInstruction;
+use neura_chip::neuramem::NeuraMem;
+use neura_sim::Cycle;
+
+fn bench_hash_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_engine");
+    group.sample_size(20);
+    for (name, policy) in [("rolling", EvictionPolicy::Rolling), ("barrier", EvictionPolicy::Barrier)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut mem = NeuraMem::new(0, ChipConfig::tile_16().mem, policy);
+                let mut cycle = 0u64;
+                for tag in 0..4_000u64 {
+                    while !mem.accept(HaccInstruction::new(tag % 1_024, 1.0, 4)) {
+                        mem.tick(Cycle(cycle));
+                        cycle += 1;
+                    }
+                    mem.tick(Cycle(cycle));
+                    cycle += 1;
+                }
+                mem.flush(Cycle(cycle));
+                mem.drain_evicted().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_engine);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmark of the HBM channel / memory-controller model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neura_mem::{HbmTiming, MemoryController, MemoryRequest};
+use neura_sim::Cycle;
+
+fn bench_hbm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hbm_model");
+    group.sample_size(20);
+    for (name, stride) in [("streaming", 64u64), ("random", 8_192u64)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &stride, |b, &stride| {
+            b.iter(|| {
+                let mut ctrl = MemoryController::new(0, HbmTiming::hbm2(), 256);
+                let mut done = Vec::new();
+                let mut submitted = 0u64;
+                let mut cycle = 0u64;
+                while done.len() < 2_000 {
+                    if submitted < 2_000 {
+                        if ctrl.submit(MemoryRequest::read(submitted * stride, 64), Cycle(cycle)).is_some() {
+                            submitted += 1;
+                        }
+                    }
+                    ctrl.tick(Cycle(cycle), &mut done);
+                    cycle += 1;
+                }
+                cycle
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hbm);
+criterion_main!(benches);

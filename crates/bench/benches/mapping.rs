@@ -1,0 +1,27 @@
+//! Criterion benchmark of the compute-mapping algorithms (lookup cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neura_chip::mapping::MappingKind;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_lookup");
+    group.sample_size(20);
+    for kind in MappingKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            b.iter(|| {
+                let mut mapper = kind.build(128, 7);
+                let mut acc = 0usize;
+                for row in 0..64u64 {
+                    for tag in 0..256u64 {
+                        acc += mapper.map(row * 10_000 + tag * 16, row);
+                    }
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benchmarks of the reference SpGEMM dataflows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neura_sparse::gen::GraphGenerator;
+use neura_sparse::spgemm::{self, Dataflow};
+
+fn bench_spgemm(c: &mut Criterion) {
+    let a = GraphGenerator::power_law(1_000, 8_000, 2.1, 7).generate().to_csr();
+    let mut group = c.benchmark_group("spgemm_kernels");
+    group.sample_size(10);
+    for dataflow in [
+        Dataflow::RowWise,
+        Dataflow::InnerProduct,
+        Dataflow::OuterProduct,
+        Dataflow::TiledRowWise(4),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(dataflow.name()), &dataflow, |b, df| {
+            b.iter(|| spgemm::multiply(&a, &a, *df).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spgemm);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Design-space ablations called out in DESIGN.md: compute mapping, eviction
+//! policy, MMH tile height and HashPad size, all on the Cora-analog SpGEMM.
+//!
+//! Run with `cargo run --release -p neura-bench --bin ablation`.
+
+use neura_bench::{fmt, print_table, scaled_matrix};
+use neura_chip::accelerator::Accelerator;
+use neura_chip::config::{ChipConfig, EvictionPolicy};
+use neura_chip::mapping::MappingKind;
+use neura_sparse::stats::imbalance;
+use neura_sparse::DatasetCatalog;
+
+fn main() {
+    let cora = DatasetCatalog::by_name("cora").expect("cora exists");
+    let a = scaled_matrix(&cora, 4);
+
+    // (1) Mapping ablation.
+    let mut rows = Vec::new();
+    for kind in MappingKind::ALL {
+        let mut chip = Accelerator::new(ChipConfig::tile_16().with_mapping(kind));
+        let run = chip.run_spgemm(&a, &a).expect("simulation drains");
+        let (max_over_mean, cv) = imbalance(&run.report.mem_work_histogram);
+        rows.push(vec![
+            kind.name().to_string(),
+            run.report.total_cycles.to_string(),
+            fmt(max_over_mean, 3),
+            fmt(cv, 3),
+            fmt(run.report.core_utilization * 100.0, 1),
+        ]);
+    }
+    print_table(
+        "Ablation A: compute mapping (Tile-16, Cora analog)",
+        &["Mapping", "Cycles", "NeuraMem max/mean", "NeuraMem CV", "Core util %"],
+        &rows,
+    );
+
+    // (2) Eviction-policy ablation.
+    let mut rows = Vec::new();
+    for (name, policy) in [("rolling", EvictionPolicy::Rolling), ("barrier", EvictionPolicy::Barrier)] {
+        let mut chip = Accelerator::new(ChipConfig::tile_16().with_eviction(policy));
+        let run = chip.run_spgemm(&a, &a).expect("simulation drains");
+        rows.push(vec![
+            name.to_string(),
+            run.report.total_cycles.to_string(),
+            run.report.peak_hashpad_occupancy.to_string(),
+            run.report.hashpad_full_stalls.to_string(),
+            fmt(run.report.hacc_latency_histogram.mean(), 0),
+        ]);
+    }
+    print_table(
+        "Ablation B: eviction policy (Tile-16, Cora analog)",
+        &["Eviction", "Cycles", "Peak pad occupancy", "Pad-full stalls", "Avg HACC latency"],
+        &rows,
+    );
+
+    // (3) MMH tile-height ablation.
+    let mut rows = Vec::new();
+    for tile in [1u8, 2, 4, 8] {
+        let mut chip = Accelerator::new(ChipConfig::tile_16().with_mmh_tile(tile));
+        let run = chip.run_spgemm(&a, &a).expect("simulation drains");
+        rows.push(vec![
+            format!("MMH{tile}"),
+            run.report.mmh_instructions.to_string(),
+            fmt(run.report.cpi, 0),
+            run.report.total_cycles.to_string(),
+            fmt(run.report.gops, 2),
+        ]);
+    }
+    print_table(
+        "Ablation C: MMH tile height (Tile-16, Cora analog)",
+        &["Variant", "MMH instructions", "Avg CPI", "Cycles", "GOP/s"],
+        &rows,
+    );
+
+    // (4) HashPad size ablation.
+    let mut rows = Vec::new();
+    for hashlines in [256usize, 1024, 2048, 8192] {
+        let mut config = ChipConfig::tile_16();
+        config.mem.hashlines = hashlines;
+        let mut chip = Accelerator::new(config);
+        let run = chip.run_spgemm(&a, &a).expect("simulation drains");
+        rows.push(vec![
+            hashlines.to_string(),
+            run.report.total_cycles.to_string(),
+            run.report.hashpad_full_stalls.to_string(),
+            run.report.peak_hashpad_occupancy.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation D: HashPad size (hash-lines per NeuraMem)",
+        &["Hashlines", "Cycles", "Pad-full stalls", "Peak occupancy"],
+        &rows,
+    );
+}

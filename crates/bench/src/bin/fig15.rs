@@ -1,0 +1,60 @@
+//! Figure 15 — HACC completion-latency histogram: barrier-based eviction
+//! (HACC-BE) versus rolling eviction (HACC-RE).
+//!
+//! Run with `cargo run --release -p neura-bench --bin fig15`.
+
+use neura_bench::{fmt, print_table, scaled_matrix};
+use neura_chip::accelerator::Accelerator;
+use neura_chip::config::{ChipConfig, EvictionPolicy};
+use neura_sparse::DatasetCatalog;
+
+fn main() {
+    let cora = DatasetCatalog::by_name("cora").expect("cora exists");
+    let a = scaled_matrix(&cora, 4);
+
+    let mut rows = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for (name, policy) in
+        [("HACC-BE (barrier)", EvictionPolicy::Barrier), ("HACC-RE (rolling)", EvictionPolicy::Rolling)]
+    {
+        // The HashPad is scaled down with the dataset (the full 2048-line pad
+        // of Tile-16 would never fill on a 512x-scaled graph, hiding the
+        // pressure the paper's full-size runs exhibit).
+        let mut config = ChipConfig::tile_16().with_eviction(policy);
+        config.mem.hashlines = 256;
+        let mut chip = Accelerator::new(config);
+        let run = chip.run_spgemm(&a, &a).expect("simulation drains");
+        let hist = &run.report.hacc_latency_histogram;
+        if labels.is_empty() {
+            labels = hist.bin_labels();
+        }
+        let mut row = vec![
+            name.to_string(),
+            fmt(hist.mean(), 0),
+            run.report.peak_hashpad_occupancy.to_string(),
+            run.report.hashpad_full_stalls.to_string(),
+            run.report.total_cycles.to_string(),
+        ];
+        row.extend(hist.percentages().iter().map(|p| fmt(*p, 1)));
+        rows.push(row);
+    }
+
+    let mut headers = vec![
+        "Scheme".to_string(),
+        "Avg latency".to_string(),
+        "Peak pad occupancy".to_string(),
+        "Pad-full stalls".to_string(),
+        "Total cycles".to_string(),
+    ];
+    headers.extend(labels);
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        "Figure 15: HACC latency histogram, barrier vs rolling eviction (% per 50-cycle bin)",
+        &header_refs,
+        &rows,
+    );
+    println!(
+        "\nPaper averages: HACC-BE 872 cycles vs HACC-RE 347 cycles — rolling eviction\n\
+         keeps partial products resident for far fewer cycles and avoids pad-full stalls."
+    );
+}

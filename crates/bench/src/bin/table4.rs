@@ -1,0 +1,41 @@
+//! Table 4 — NeuraChip power and area breakdown per component.
+//!
+//! Run with `cargo run --release -p neura-bench --bin table4`.
+
+use neura_bench::{fmt, print_table};
+use neura_chip::config::TileSize;
+use neura_chip::power::table4_reference;
+
+fn main() {
+    let mut area_rows = Vec::new();
+    let mut power_rows = Vec::new();
+    for tile in TileSize::ALL {
+        let b = table4_reference(tile);
+        area_rows.push(vec![
+            tile.name().to_string(),
+            fmt(b.neuracore.area_mm2, 2),
+            fmt(b.neuramem.area_mm2, 2),
+            fmt(b.router.area_mm2, 2),
+            fmt(b.memory_controller.area_mm2, 2),
+            fmt(b.total_area_mm2(), 2),
+        ]);
+        power_rows.push(vec![
+            tile.name().to_string(),
+            fmt(b.neuracore.power_w, 2),
+            fmt(b.neuramem.power_w, 2),
+            fmt(b.router.power_w, 2),
+            fmt(b.memory_controller.power_w, 2),
+            fmt(b.total_power_w(), 2),
+        ]);
+    }
+    print_table(
+        "Table 4a: Area breakdown (mm^2)",
+        &["Config", "NeuraCore", "NeuraMem", "Router", "Mem Controller", "Total"],
+        &area_rows,
+    );
+    print_table(
+        "Table 4b: Average power breakdown (W)",
+        &["Config", "NeuraCore", "NeuraMem", "Router", "Mem Controller", "Total"],
+        &power_rows,
+    );
+}

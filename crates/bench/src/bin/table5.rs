@@ -1,0 +1,80 @@
+//! Table 5 — cross-platform SpGEMM comparison.
+//!
+//! Prints the static platform specifications, the modeled SpGEMM throughput
+//! on the common matrix suite and the derived efficiency metrics, plus the
+//! Tile-16 speedup row.  Run with
+//! `cargo run --release -p neura-bench --bin table5`.
+
+use neura_baselines::spgemm::{geometric_mean, SpgemmModel, SpgemmPlatform};
+use neura_baselines::WorkloadProfile;
+use neura_bench::{fmt, print_table, scaled_matrix, MODEL_SCALE};
+use neura_sparse::DatasetCatalog;
+
+fn main() {
+    // Modeled throughput over the common (Table 1) matrix suite.
+    let profiles: Vec<WorkloadProfile> = DatasetCatalog::spgemm_suite()
+        .iter()
+        .map(|d| WorkloadProfile::from_square(d.name, &scaled_matrix(d, MODEL_SCALE)))
+        .collect();
+
+    let platforms = [
+        SpgemmPlatform::CpuMkl,
+        SpgemmPlatform::GpuCusparse,
+        SpgemmPlatform::GpuCusp,
+        SpgemmPlatform::GpuHipsparse,
+        SpgemmPlatform::OuterSpace,
+        SpgemmPlatform::SpArch,
+        SpgemmPlatform::Gamma,
+        SpgemmPlatform::NeuraChip { tile: 4 },
+        SpgemmPlatform::NeuraChip { tile: 16 },
+        SpgemmPlatform::NeuraChip { tile: 64 },
+    ];
+    let tile16 = SpgemmPlatform::NeuraChip { tile: 16 };
+
+    let mut rows = Vec::new();
+    for platform in platforms {
+        let spec = platform.spec();
+        let modeled: Vec<f64> = profiles.iter().map(|p| platform.estimate(p).gops).collect();
+        let mean_gops = modeled.iter().sum::<f64>() / modeled.len() as f64;
+        let speedups: Vec<f64> = profiles
+            .iter()
+            .map(|p| tile16.estimate(p).speedup_over(&platform.estimate(p)))
+            .collect();
+        rows.push(vec![
+            spec.name.to_string(),
+            spec.compute_units.to_string(),
+            fmt(spec.frequency_ghz, 1),
+            fmt(spec.peak_gflops, 0),
+            fmt(spec.spgemm_gops_reference, 2),
+            fmt(mean_gops, 2),
+            fmt(spec.on_chip_memory_mb, 2),
+            fmt(spec.off_chip_bandwidth_gbps, 0),
+            spec.technology_nm.to_string(),
+            spec.area_mm2.map(|a| fmt(a, 2)).unwrap_or_else(|| "-".into()),
+            spec.power_w.map(|p| fmt(p, 2)).unwrap_or_else(|| "-".into()),
+            spec.energy_efficiency().map(|e| fmt(e, 3)).unwrap_or_else(|| "-".into()),
+            spec.area_efficiency().map(|e| fmt(e, 3)).unwrap_or_else(|| "-".into()),
+            fmt(geometric_mean(&speedups), 2),
+        ]);
+    }
+    print_table(
+        "Table 5: SpGEMM accelerator comparison",
+        &[
+            "Platform",
+            "Compute Units",
+            "Freq (GHz)",
+            "Peak GFLOPs",
+            "SpGEMM GOP/s (paper)",
+            "SpGEMM GOP/s (model)",
+            "On-chip MB",
+            "Off-chip GB/s",
+            "Tech (nm)",
+            "Area mm^2",
+            "Power W",
+            "GOPS/W",
+            "GOPS/mm^2",
+            "Tile-16 speedup (geomean)",
+        ],
+        &rows,
+    );
+}

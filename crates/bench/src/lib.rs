@@ -1,0 +1,75 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding
+//! binary in `src/bin/` (see `DESIGN.md` for the index).  The helpers here
+//! keep those binaries small: scaled dataset generation, simple fixed-width
+//! table printing, and the default scale factors used to keep the
+//! cycle-level simulations tractable on a laptop.
+
+#![warn(missing_docs)]
+
+use neura_sparse::{CsrMatrix, Dataset};
+
+/// Default down-scaling factor applied to the big SuiteSparse/SNAP analogs
+/// when they are fed to the cycle-level simulator.
+pub const SIM_SCALE: usize = 512;
+
+/// Default down-scaling factor for analytical-model workloads (cheaper, so a
+/// larger fraction of the original size is retained).
+pub const MODEL_SCALE: usize = 64;
+
+/// Generates the scaled CSR adjacency matrix of a dataset with a fixed seed.
+pub fn scaled_matrix(dataset: &Dataset, scale: usize) -> CsrMatrix {
+    dataset.generate_scaled(scale, 0xDA7A + dataset.nodes as u64).to_csr()
+}
+
+/// Prints a fixed-width table with a header row and a separator.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> =
+        headers.iter().enumerate().map(|(i, h)| format!("{:<width$}", h, width = widths[i])).collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neura_sparse::DatasetCatalog;
+
+    #[test]
+    fn scaled_matrix_is_deterministic() {
+        let d = DatasetCatalog::by_name("cora").unwrap();
+        let a = scaled_matrix(&d, 4);
+        let b = scaled_matrix(&d, 4);
+        assert_eq!(a.nnz(), b.nnz());
+        assert!(a.nnz() > 0);
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(10.0, 0), "10");
+    }
+}

@@ -1,0 +1,401 @@
+//! NeuraChip configurations (Tables 2 and 3 of the paper).
+
+use crate::mapping::MappingKind;
+use neura_mem::HbmTiming;
+use serde::{Deserialize, Serialize};
+
+/// The three evaluated tile sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TileSize {
+    /// Tile-4: 1 NeuraCore and 1 NeuraMem per tile.
+    Tile4,
+    /// Tile-16: 4 NeuraCores and 4 NeuraMems per tile (headline configuration).
+    Tile16,
+    /// Tile-64: 16 NeuraCores and 16 NeuraMems per tile.
+    Tile64,
+}
+
+impl TileSize {
+    /// All evaluated tile sizes, smallest first.
+    pub const ALL: [TileSize; 3] = [TileSize::Tile4, TileSize::Tile16, TileSize::Tile64];
+
+    /// Display name as used in the paper ("Tile-4", …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TileSize::Tile4 => "Tile-4",
+            TileSize::Tile16 => "Tile-16",
+            TileSize::Tile64 => "Tile-64",
+        }
+    }
+}
+
+/// Per-NeuraCore configuration (Table 2, "NeuraCore" rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeuraCoreConfig {
+    /// Pipeline registers per pipeline.
+    pub pipeline_registers: usize,
+    /// Number of pipelines.
+    pub pipelines: usize,
+    /// Number of multipliers (partial products computable per cycle, per core).
+    pub multipliers: usize,
+    /// Number of address generators.
+    pub address_generators: usize,
+    /// Router ports.
+    pub ports: usize,
+    /// Capacity of the instruction buffer feeding the core.
+    pub instruction_buffer: usize,
+}
+
+/// Per-NeuraMem configuration (Table 2, "NeuraMem" rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeuraMemConfig {
+    /// TAG comparators per hash engine.
+    pub comparators: usize,
+    /// Number of hash engines.
+    pub hash_engines: usize,
+    /// Hash-lines in the HashPad.
+    pub hashlines: usize,
+    /// Accumulators (HACC instructions retired per cycle, per unit).
+    pub accumulators: usize,
+    /// Router ports.
+    pub ports: usize,
+    /// Capacity of the instruction buffer feeding the unit.
+    pub instruction_buffer: usize,
+}
+
+impl NeuraMemConfig {
+    /// HashPad size in bytes: each hash-line stores TAG (4B), DATA (4B),
+    /// COUNTER (2B) plus an ID/valid byte, rounded to 12 bytes per line.
+    pub fn hashpad_bytes(&self) -> usize {
+        self.hashlines * 12
+    }
+}
+
+/// Whether completed hash-lines are evicted immediately (rolling) or held
+/// until a row barrier (the `HACC-BE` baseline of Figure 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Rolling eviction (`HACC-RE`): evict as soon as the counter hits zero.
+    Rolling,
+    /// Barrier eviction (`HACC-BE`): evict completed lines only at row barriers.
+    Barrier,
+}
+
+/// Full accelerator configuration (Table 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipConfig {
+    /// Which named tile size this configuration corresponds to.
+    pub tile_size: TileSize,
+    /// Number of tiles (always 8 — one per HBM channel).
+    pub tiles: usize,
+    /// NeuraCores per tile.
+    pub cores_per_tile: usize,
+    /// NeuraMems per tile.
+    pub mems_per_tile: usize,
+    /// Routers per tile.
+    pub routers_per_tile: usize,
+    /// Per-core configuration.
+    pub core: NeuraCoreConfig,
+    /// Per-mem configuration.
+    pub mem: NeuraMemConfig,
+    /// Clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// HBM timing per channel.
+    pub hbm: HbmTiming,
+    /// Memory-controller queue capacity.
+    pub mem_queue_capacity: usize,
+    /// Router packet-buffer capacity.
+    pub router_buffer: usize,
+    /// Compute-mapping algorithm for accumulation placement.
+    pub mapping: MappingKind,
+    /// Eviction policy of the hash pads.
+    pub eviction: EvictionPolicy,
+    /// Tile height of the MMH instruction (1, 2, 4 or 8).
+    pub mmh_tile: u8,
+    /// Seed for every stochastic decision (DRHM reseeds, random mapping).
+    pub seed: u64,
+}
+
+impl ChipConfig {
+    /// The Tile-4 configuration of Tables 2/3.
+    pub fn tile_4() -> Self {
+        ChipConfig {
+            tile_size: TileSize::Tile4,
+            tiles: 8,
+            cores_per_tile: 1,
+            mems_per_tile: 1,
+            routers_per_tile: 4,
+            core: NeuraCoreConfig {
+                pipeline_registers: 4,
+                pipelines: 2,
+                multipliers: 2,
+                address_generators: 1,
+                ports: 4,
+                instruction_buffer: 8,
+            },
+            mem: NeuraMemConfig {
+                comparators: 1,
+                hash_engines: 2,
+                hashlines: 4096,
+                accumulators: 128,
+                ports: 4,
+                instruction_buffer: 16,
+            },
+            frequency_ghz: 1.0,
+            hbm: HbmTiming::hbm2(),
+            mem_queue_capacity: 64,
+            router_buffer: 16,
+            mapping: MappingKind::Drhm,
+            eviction: EvictionPolicy::Rolling,
+            mmh_tile: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// The Tile-16 configuration (the paper's headline chip).
+    pub fn tile_16() -> Self {
+        ChipConfig {
+            tile_size: TileSize::Tile16,
+            tiles: 8,
+            cores_per_tile: 4,
+            mems_per_tile: 4,
+            routers_per_tile: 8,
+            core: NeuraCoreConfig {
+                pipeline_registers: 8,
+                pipelines: 4,
+                multipliers: 4,
+                address_generators: 2,
+                ports: 4,
+                instruction_buffer: 16,
+            },
+            mem: NeuraMemConfig {
+                comparators: 4,
+                hash_engines: 4,
+                hashlines: 2048,
+                accumulators: 256,
+                ports: 4,
+                instruction_buffer: 32,
+            },
+            ..Self::tile_4()
+        }
+    }
+
+    /// The Tile-64 configuration.
+    pub fn tile_64() -> Self {
+        ChipConfig {
+            tile_size: TileSize::Tile64,
+            tiles: 8,
+            cores_per_tile: 16,
+            mems_per_tile: 16,
+            routers_per_tile: 32,
+            core: NeuraCoreConfig {
+                pipeline_registers: 16,
+                pipelines: 8,
+                multipliers: 8,
+                address_generators: 2,
+                ports: 4,
+                instruction_buffer: 32,
+            },
+            mem: NeuraMemConfig {
+                comparators: 8,
+                hash_engines: 8,
+                hashlines: 2048,
+                accumulators: 512,
+                ports: 4,
+                instruction_buffer: 64,
+            },
+            ..Self::tile_4()
+        }
+    }
+
+    /// Configuration for a named tile size.
+    pub fn for_tile_size(tile: TileSize) -> Self {
+        match tile {
+            TileSize::Tile4 => Self::tile_4(),
+            TileSize::Tile16 => Self::tile_16(),
+            TileSize::Tile64 => Self::tile_64(),
+        }
+    }
+
+    /// Overrides the compute-mapping algorithm.
+    pub fn with_mapping(mut self, mapping: MappingKind) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Overrides the eviction policy.
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Overrides the MMH tile height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is not one of 1, 2, 4, 8.
+    pub fn with_mmh_tile(mut self, tile: u8) -> Self {
+        assert!(matches!(tile, 1 | 2 | 4 | 8), "MMH tile height must be 1, 2, 4 or 8");
+        self.mmh_tile = tile;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total NeuraCores in the chip.
+    pub fn total_cores(&self) -> usize {
+        self.tiles * self.cores_per_tile
+    }
+
+    /// Total NeuraMems in the chip.
+    pub fn total_mems(&self) -> usize {
+        self.tiles * self.mems_per_tile
+    }
+
+    /// Total routers in the chip.
+    pub fn total_routers(&self) -> usize {
+        self.tiles * self.routers_per_tile
+    }
+
+    /// Total pipelines across all NeuraCores.
+    pub fn total_pipelines(&self) -> usize {
+        self.total_cores() * self.core.pipelines
+    }
+
+    /// Total hash engines across all NeuraMems.
+    pub fn total_hash_engines(&self) -> usize {
+        self.total_mems() * self.mem.hash_engines
+    }
+
+    /// Total TAG comparators across all NeuraMems.
+    pub fn total_comparators(&self) -> usize {
+        self.total_hash_engines() * self.mem.comparators
+    }
+
+    /// Total HashPad capacity in megabytes (Table 3 row "Total HashPad Size").
+    pub fn total_hashpad_mb(&self) -> f64 {
+        self.total_mems() as f64 * self.mem.hashpad_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Register-file bits per pipeline (Table 3 row "Pipeline Register File").
+    pub fn register_file_bits_per_pipeline(&self) -> usize {
+        self.core.pipeline_registers * 128
+    }
+
+    /// Peak sustained throughput in GFLOP/s as reported in Table 5
+    /// (8 / 32 / 128 GFLOPs for Tile-4/16/64).
+    ///
+    /// The paper counts one retired partial product per NeuraCore per cycle —
+    /// the rate at which HACCs can be absorbed by the NeuraMems — rather than
+    /// the raw multiplier count, so the figure scales with the core count.
+    pub fn peak_gflops(&self) -> f64 {
+        self.total_cores() as f64 * self.frequency_ghz
+    }
+
+    /// Aggregate HBM bandwidth in GB/s.
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.hbm.peak_bandwidth_gbps(self.frequency_ghz) * self.tiles as f64
+    }
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self::tile_16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_component_counts() {
+        let t4 = ChipConfig::tile_4();
+        assert_eq!(t4.total_cores(), 8);
+        assert_eq!(t4.total_mems(), 8);
+        assert_eq!(t4.total_routers(), 32);
+
+        let t16 = ChipConfig::tile_16();
+        assert_eq!(t16.total_cores(), 32);
+        assert_eq!(t16.total_mems(), 32);
+        assert_eq!(t16.total_routers(), 64);
+        assert_eq!(t16.total_pipelines(), 128);
+
+        let t64 = ChipConfig::tile_64();
+        assert_eq!(t64.total_cores(), 128);
+        assert_eq!(t64.total_mems(), 128);
+        assert_eq!(t64.total_routers(), 256);
+        assert_eq!(t64.total_pipelines(), 1024);
+    }
+
+    #[test]
+    fn table3_hash_engine_counts() {
+        assert_eq!(ChipConfig::tile_4().total_hash_engines(), 16);
+        assert_eq!(ChipConfig::tile_16().total_hash_engines(), 128);
+        assert_eq!(ChipConfig::tile_64().total_hash_engines(), 1024);
+        assert_eq!(ChipConfig::tile_16().total_comparators(), 512);
+        assert_eq!(ChipConfig::tile_64().total_comparators(), 8192);
+    }
+
+    #[test]
+    fn table3_register_file_bits() {
+        assert_eq!(ChipConfig::tile_4().register_file_bits_per_pipeline(), 512);
+        assert_eq!(ChipConfig::tile_16().register_file_bits_per_pipeline(), 1024);
+        assert_eq!(ChipConfig::tile_64().register_file_bits_per_pipeline(), 2048);
+    }
+
+    #[test]
+    fn hashpad_sizes_scale_like_table3() {
+        // Table 3: 0.75 MB / 3 MB / 12 MB. Our 12-byte hash-line estimate
+        // lands within a factor of ~2 of those values; the *ratios* must match.
+        let t4 = ChipConfig::tile_4().total_hashpad_mb();
+        let t16 = ChipConfig::tile_16().total_hashpad_mb();
+        let t64 = ChipConfig::tile_64().total_hashpad_mb();
+        assert!(t4 < t16 && t16 < t64, "HashPad capacity must grow with tile size");
+        assert!((t64 / t16 - 4.0).abs() < 0.1, "Tile-64 pad should be 4x Tile-16");
+    }
+
+    #[test]
+    fn peak_performance_matches_table5() {
+        // Table 5 lists 8 / 32 / 128 GFLOPs for Tile-4/16/64.
+        assert!((ChipConfig::tile_4().peak_gflops() - 8.0).abs() < 1e-9);
+        assert!((ChipConfig::tile_16().peak_gflops() - 32.0).abs() < 1e-9);
+        assert!((ChipConfig::tile_64().peak_gflops() - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_is_128_gbps() {
+        assert!((ChipConfig::tile_16().peak_bandwidth_gbps() - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = ChipConfig::tile_16()
+            .with_mapping(MappingKind::Ring)
+            .with_eviction(EvictionPolicy::Barrier)
+            .with_mmh_tile(8)
+            .with_seed(42);
+        assert_eq!(cfg.mapping, MappingKind::Ring);
+        assert_eq!(cfg.eviction, EvictionPolicy::Barrier);
+        assert_eq!(cfg.mmh_tile, 8);
+        assert_eq!(cfg.seed, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "MMH tile height")]
+    fn invalid_mmh_tile_rejected() {
+        ChipConfig::tile_4().with_mmh_tile(3);
+    }
+
+    #[test]
+    fn for_tile_size_round_trips() {
+        for tile in TileSize::ALL {
+            assert_eq!(ChipConfig::for_tile_size(tile).tile_size, tile);
+        }
+        assert_eq!(TileSize::Tile16.name(), "Tile-16");
+    }
+}

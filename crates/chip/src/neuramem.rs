@@ -1,0 +1,437 @@
+//! NeuraMem: the on-chip hash-based accumulation unit (Figures 8 and 10).
+//!
+//! Each NeuraMem owns a *HashPad* — an array of hash-lines, each holding a
+//! TAG, an accumulating DATA value and a rolling-eviction COUNTER — serviced
+//! by a set of hash engines.  `HACC` instructions arriving from the NoC are
+//! hashed onto a line; matching tags accumulate, new tags allocate a line,
+//! and a line whose counter reaches zero is evicted and written back to HBM
+//! (rolling eviction).  Under the barrier-eviction baseline, completed lines
+//! stay resident until an explicit row barrier, inflating occupancy and
+//! stalling inserts when the pad fills up.
+
+use crate::config::{EvictionPolicy, NeuraMemConfig};
+use crate::isa::HaccInstruction;
+use neura_sim::{Cycle, Histogram};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One completed output element evicted from the HashPad.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvictedLine {
+    /// Output tag.
+    pub tag: u64,
+    /// Fully accumulated value.
+    pub value: f64,
+    /// Cycle at which the eviction happened.
+    pub evicted_at: u64,
+}
+
+/// Statistics exported by a NeuraMem unit.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NeuraMemStats {
+    /// HACC instructions accepted into the instruction buffer.
+    pub haccs_received: u64,
+    /// HACC instructions fully processed (accumulated).
+    pub haccs_processed: u64,
+    /// Hash-lines evicted (== output elements produced).
+    pub evictions: u64,
+    /// Cycles in which at least one HACC could not proceed because the
+    /// HashPad was full.
+    pub pad_full_stalls: u64,
+    /// Hash collisions resolved by probing.
+    pub collisions: u64,
+    /// Peak number of occupied hash-lines.
+    pub peak_occupancy: usize,
+    /// Cycles with at least one instruction processed.
+    pub busy_cycles: u64,
+    /// Cycles with no work performed.
+    pub idle_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HashLine {
+    tag: u64,
+    data: f64,
+    counter: u32,
+}
+
+/// A NeuraMem accumulation unit.
+#[derive(Debug)]
+pub struct NeuraMem {
+    id: usize,
+    config: NeuraMemConfig,
+    eviction: EvictionPolicy,
+    /// Open-addressed HashPad: `None` lines are free.
+    pad: Vec<Option<HashLine>>,
+    /// Resident-tag index (tag → slot).  Hardware finds the line with the
+    /// comparator array; the index keeps the model exact in the presence of
+    /// eviction holes without changing the occupancy/capacity behaviour.
+    index: std::collections::HashMap<u64, usize>,
+    occupied: usize,
+    /// Incoming HACC instructions awaiting a hash engine.
+    input: VecDeque<HaccInstruction>,
+    /// Completed lines awaiting write-back pickup by the accelerator.
+    evicted: VecDeque<EvictedLine>,
+    /// Lines whose counter reached zero under barrier eviction, waiting for
+    /// the next barrier.
+    barrier_pending: Vec<usize>,
+    stats: NeuraMemStats,
+    /// Histogram of HACC completion latency (generation → accumulation).
+    hacc_latency: Histogram,
+}
+
+impl NeuraMem {
+    /// Creates a NeuraMem with the given per-unit configuration.
+    pub fn new(id: usize, config: NeuraMemConfig, eviction: EvictionPolicy) -> Self {
+        NeuraMem {
+            id,
+            config,
+            eviction,
+            pad: vec![None; config.hashlines],
+            index: std::collections::HashMap::new(),
+            occupied: 0,
+            input: VecDeque::new(),
+            evicted: VecDeque::new(),
+            barrier_pending: Vec::new(),
+            stats: NeuraMemStats::default(),
+            hacc_latency: Histogram::new(50, 20),
+        }
+    }
+
+    /// Unit identifier (index within the chip).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// True when the instruction buffer can accept another HACC.
+    pub fn can_accept(&self) -> bool {
+        self.input.len() < self.config.instruction_buffer
+    }
+
+    /// Enqueues a HACC instruction.  Returns `false` when the buffer is full
+    /// (the packet stays in the network — back-pressure).
+    pub fn accept(&mut self, hacc: HaccInstruction) -> bool {
+        if !self.can_accept() {
+            return false;
+        }
+        self.input.push_back(hacc);
+        self.stats.haccs_received += 1;
+        true
+    }
+
+    /// Number of buffered HACC instructions not yet processed.
+    pub fn backlog(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Number of currently occupied hash-lines.
+    pub fn occupancy(&self) -> usize {
+        self.occupied
+    }
+
+    /// Unit statistics.
+    pub fn stats(&self) -> &NeuraMemStats {
+        &self.stats
+    }
+
+    /// Histogram of HACC completion latencies (Figure 15).
+    pub fn hacc_latency_histogram(&self) -> &Histogram {
+        &self.hacc_latency
+    }
+
+    /// Removes all evicted (completed) output elements produced so far.
+    pub fn drain_evicted(&mut self) -> Vec<EvictedLine> {
+        self.evicted.drain(..).collect()
+    }
+
+    /// True when no work remains anywhere in the unit.
+    pub fn is_idle(&self) -> bool {
+        self.input.is_empty() && self.evicted.is_empty()
+    }
+
+    /// True when every hash-line is free (all outputs evicted).
+    pub fn pad_is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Row barrier: under barrier eviction, flush every completed line.
+    pub fn barrier(&mut self, now: Cycle) {
+        if self.eviction == EvictionPolicy::Barrier {
+            let pending = std::mem::take(&mut self.barrier_pending);
+            for slot in pending {
+                self.evict_slot(slot, now);
+            }
+        }
+    }
+
+    /// Final flush at the end of the program: evicts every remaining line
+    /// regardless of counter state (used to drain barrier-mode residue and to
+    /// guard against malformed counters).
+    pub fn flush(&mut self, now: Cycle) {
+        for slot in 0..self.pad.len() {
+            if self.pad[slot].is_some() {
+                self.evict_slot(slot, now);
+            }
+        }
+        self.barrier_pending.clear();
+    }
+
+    /// Advances the unit one cycle, processing up to
+    /// `hash_engines × comparators` HACC instructions.
+    pub fn tick(&mut self, now: Cycle) {
+        let throughput = self.config.hash_engines * self.config.comparators.max(1);
+        let mut processed = 0usize;
+        while processed < throughput {
+            let Some(hacc) = self.input.front().copied() else { break };
+            if self.apply(hacc, now) {
+                self.input.pop_front();
+                processed += 1;
+            } else {
+                // HashPad full: head-of-line stall until an eviction frees a line.
+                self.stats.pad_full_stalls += 1;
+                break;
+            }
+        }
+        if processed > 0 {
+            self.stats.busy_cycles += 1;
+        } else {
+            self.stats.idle_cycles += 1;
+        }
+    }
+
+    /// Applies one HACC.  Returns `false` when no hash-line is available.
+    fn apply(&mut self, hacc: HaccInstruction, now: Cycle) -> bool {
+        // Hit on a resident tag: accumulate and decrement the counter.
+        if let Some(&slot) = self.index.get(&hacc.tag) {
+            let line = self.pad[slot].as_mut().expect("indexed slot is occupied");
+            line.data += hacc.data;
+            line.counter = line.counter.saturating_sub(1);
+            let done = line.counter == 0;
+            let home = (hacc.tag as usize) % self.pad.len();
+            if slot != home {
+                self.stats.collisions += 1;
+            }
+            self.finish_hacc(&hacc, now);
+            if done {
+                self.complete_slot(slot, now);
+            }
+            return true;
+        }
+        // Miss: allocate a free line by probing from the tag's home slot.
+        if self.occupied >= self.pad.len() {
+            return false; // pad completely full of other tags
+        }
+        let len = self.pad.len();
+        let home = (hacc.tag as usize) % len;
+        let mut slot = home;
+        let mut probes = 0usize;
+        while self.pad[slot].is_some() {
+            probes += 1;
+            slot = (slot + 1) % len;
+            debug_assert!(probes <= len, "occupancy check guarantees a free slot");
+        }
+        if probes > 0 {
+            self.stats.collisions += 1;
+        }
+        let counter = hacc.counter.saturating_sub(1);
+        self.pad[slot] = Some(HashLine { tag: hacc.tag, data: hacc.data, counter });
+        self.index.insert(hacc.tag, slot);
+        self.occupied += 1;
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.occupied);
+        self.finish_hacc(&hacc, now);
+        if counter == 0 {
+            self.complete_slot(slot, now);
+        }
+        true
+    }
+
+    fn finish_hacc(&mut self, hacc: &HaccInstruction, now: Cycle) {
+        self.stats.haccs_processed += 1;
+        self.hacc_latency.record(now.as_u64().saturating_sub(hacc.generated_at));
+    }
+
+    /// Marks a slot's reduction as complete: rolling eviction writes it back
+    /// immediately, barrier eviction defers to the next barrier.
+    fn complete_slot(&mut self, slot: usize, now: Cycle) {
+        match self.eviction {
+            EvictionPolicy::Rolling => self.evict_slot(slot, now),
+            EvictionPolicy::Barrier => self.barrier_pending.push(slot),
+        }
+    }
+
+    fn evict_slot(&mut self, slot: usize, now: Cycle) {
+        if let Some(line) = self.pad[slot].take() {
+            self.index.remove(&line.tag);
+            self.occupied -= 1;
+            self.stats.evictions += 1;
+            self.evicted.push_back(EvictedLine {
+                tag: line.tag,
+                value: line.data,
+                evicted_at: now.as_u64(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(hashlines: usize) -> NeuraMemConfig {
+        NeuraMemConfig {
+            comparators: 4,
+            hash_engines: 4,
+            hashlines,
+            accumulators: 256,
+            ports: 4,
+            instruction_buffer: 32,
+        }
+    }
+
+    fn hacc(tag: u64, data: f64, counter: u32) -> HaccInstruction {
+        HaccInstruction::new(tag, data, counter)
+    }
+
+    #[test]
+    fn single_contribution_evicts_immediately() {
+        let mut mem = NeuraMem::new(0, small_config(64), EvictionPolicy::Rolling);
+        assert!(mem.accept(hacc(7, 2.5, 1)));
+        mem.tick(Cycle(0));
+        let out = mem.drain_evicted();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tag, 7);
+        assert_eq!(out[0].value, 2.5);
+        assert!(mem.pad_is_empty());
+    }
+
+    #[test]
+    fn partial_products_accumulate_until_counter_zero() {
+        let mut mem = NeuraMem::new(0, small_config(64), EvictionPolicy::Rolling);
+        for v in [1.0, 2.0, 3.0] {
+            assert!(mem.accept(hacc(42, v, 3)));
+        }
+        mem.tick(Cycle(0));
+        let out = mem.drain_evicted();
+        assert_eq!(out.len(), 1);
+        assert!((out[0].value - 6.0).abs() < 1e-12);
+        assert_eq!(mem.stats().evictions, 1);
+        assert_eq!(mem.stats().haccs_processed, 3);
+    }
+
+    #[test]
+    fn rolling_eviction_keeps_occupancy_low() {
+        let mut mem = NeuraMem::new(0, small_config(1024), EvictionPolicy::Rolling);
+        // 100 distinct single-contribution tags: every one evicts right away.
+        for t in 0..100u64 {
+            assert!(mem.accept(hacc(t, 1.0, 1)));
+            mem.tick(Cycle(t));
+        }
+        assert_eq!(mem.stats().evictions, 100);
+        assert!(mem.stats().peak_occupancy <= 1);
+    }
+
+    #[test]
+    fn barrier_eviction_retains_lines_until_barrier() {
+        let mut mem = NeuraMem::new(0, small_config(1024), EvictionPolicy::Barrier);
+        // Feed and process incrementally so the instruction buffer never overflows.
+        for t in 0..50u64 {
+            assert!(mem.accept(hacc(t, 1.0, 1)));
+            mem.tick(Cycle(t));
+        }
+        for c in 50..60u64 {
+            mem.tick(Cycle(c));
+        }
+        assert_eq!(mem.drain_evicted().len(), 0, "nothing leaves before the barrier");
+        assert_eq!(mem.occupancy(), 50);
+        mem.barrier(Cycle(60));
+        assert_eq!(mem.drain_evicted().len(), 50);
+        assert!(mem.pad_is_empty());
+    }
+
+    #[test]
+    fn barrier_policy_has_higher_peak_occupancy_than_rolling() {
+        let run = |policy| {
+            let mut mem = NeuraMem::new(0, small_config(4096), policy);
+            for t in 0..200u64 {
+                assert!(mem.accept(hacc(t, 1.0, 1)));
+                mem.tick(Cycle(t));
+            }
+            mem.barrier(Cycle(300));
+            mem.stats().peak_occupancy
+        };
+        assert!(run(EvictionPolicy::Barrier) > run(EvictionPolicy::Rolling));
+    }
+
+    #[test]
+    fn pad_exhaustion_stalls_and_recovers_after_flush() {
+        let mut mem = NeuraMem::new(0, small_config(4), EvictionPolicy::Rolling);
+        // Five distinct never-completing tags (counter 2, only one arrival each).
+        for t in 0..5u64 {
+            assert!(mem.accept(hacc(t, 1.0, 2)));
+        }
+        for c in 0..10u64 {
+            mem.tick(Cycle(c));
+        }
+        assert!(mem.stats().pad_full_stalls > 0);
+        assert_eq!(mem.occupancy(), 4);
+        // Flush clears the pad and the stalled instruction can then proceed.
+        mem.flush(Cycle(20));
+        mem.tick(Cycle(21));
+        assert_eq!(mem.backlog(), 0);
+    }
+
+    #[test]
+    fn colliding_tags_resolve_by_probing() {
+        let mut mem = NeuraMem::new(0, small_config(8), EvictionPolicy::Rolling);
+        // Tags 1 and 9 collide in an 8-line pad (same home slot).
+        assert!(mem.accept(hacc(1, 1.0, 2)));
+        assert!(mem.accept(hacc(9, 5.0, 2)));
+        assert!(mem.accept(hacc(1, 1.0, 2)));
+        assert!(mem.accept(hacc(9, 5.0, 2)));
+        for c in 0..4u64 {
+            mem.tick(Cycle(c));
+        }
+        let mut out = mem.drain_evicted();
+        out.sort_by_key(|e| e.tag);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].tag, 1);
+        assert!((out[0].value - 2.0).abs() < 1e-12);
+        assert_eq!(out[1].tag, 9);
+        assert!((out[1].value - 10.0).abs() < 1e-12);
+        assert!(mem.stats().collisions > 0);
+    }
+
+    #[test]
+    fn instruction_buffer_applies_backpressure() {
+        let cfg = NeuraMemConfig { instruction_buffer: 2, ..small_config(16) };
+        let mut mem = NeuraMem::new(0, cfg, EvictionPolicy::Rolling);
+        assert!(mem.accept(hacc(1, 1.0, 5)));
+        assert!(mem.accept(hacc(2, 1.0, 5)));
+        assert!(!mem.accept(hacc(3, 1.0, 5)));
+        assert_eq!(mem.stats().haccs_received, 2);
+    }
+
+    #[test]
+    fn throughput_limited_by_hash_engines() {
+        let cfg = NeuraMemConfig { hash_engines: 1, comparators: 1, ..small_config(64) };
+        let mut mem = NeuraMem::new(0, cfg, EvictionPolicy::Rolling);
+        for t in 0..10u64 {
+            assert!(mem.accept(hacc(t, 1.0, 1)));
+        }
+        mem.tick(Cycle(0));
+        // Only one instruction can retire per cycle with a single engine.
+        assert_eq!(mem.stats().haccs_processed, 1);
+        assert_eq!(mem.backlog(), 9);
+    }
+
+    #[test]
+    fn latency_histogram_records_generation_to_completion() {
+        let mut mem = NeuraMem::new(0, small_config(16), EvictionPolicy::Rolling);
+        let mut h = hacc(1, 1.0, 1);
+        h.generated_at = 10;
+        assert!(mem.accept(h));
+        mem.tick(Cycle(150));
+        assert_eq!(mem.hacc_latency_histogram().count(), 1);
+        assert!(mem.hacc_latency_histogram().mean() >= 140.0);
+    }
+}

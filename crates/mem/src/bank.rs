@@ -1,0 +1,137 @@
+//! A single DRAM bank with an open-row (row-buffer) policy.
+
+use crate::HbmTiming;
+use serde::{Deserialize, Serialize};
+
+/// Classification of an access relative to the bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowBufferOutcome {
+    /// The requested row was already open.
+    Hit,
+    /// The bank was idle (no open row); an activate was required.
+    Miss,
+    /// A different row was open; precharge + activate were required.
+    Conflict,
+}
+
+/// State of one DRAM bank.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+    hits: u64,
+    misses: u64,
+    conflicts: u64,
+}
+
+impl Bank {
+    /// Creates a bank with no open row.
+    pub fn new() -> Self {
+        Bank::default()
+    }
+
+    /// Services an access to `row` arriving at `now`, returning the cycle at
+    /// which data is available and the row-buffer outcome.
+    ///
+    /// The bank is busy until the returned completion cycle; a request that
+    /// arrives earlier queues behind it (modelled by starting from
+    /// `max(now, busy_until)`).
+    pub fn access(&mut self, row: u64, now: u64, timing: &HbmTiming) -> (u64, RowBufferOutcome) {
+        let start = now.max(self.busy_until);
+        let (latency, outcome) = match self.open_row {
+            Some(open) if open == row => (timing.row_hit_latency, RowBufferOutcome::Hit),
+            Some(_) => (timing.row_conflict_latency, RowBufferOutcome::Conflict),
+            None => (timing.row_miss_latency, RowBufferOutcome::Miss),
+        };
+        match outcome {
+            RowBufferOutcome::Hit => self.hits += 1,
+            RowBufferOutcome::Miss => self.misses += 1,
+            RowBufferOutcome::Conflict => self.conflicts += 1,
+        }
+        self.open_row = Some(row);
+        let done = start + latency;
+        self.busy_until = done;
+        (done, outcome)
+    }
+
+    /// Cycle until which the bank is occupied.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Currently open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// (hits, misses, conflicts) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.conflicts)
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_is_a_miss() {
+        let mut bank = Bank::new();
+        let t = HbmTiming::hbm2();
+        let (done, outcome) = bank.access(5, 0, &t);
+        assert_eq!(outcome, RowBufferOutcome::Miss);
+        assert_eq!(done, t.row_miss_latency);
+        assert_eq!(bank.open_row(), Some(5));
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut bank = Bank::new();
+        let t = HbmTiming::hbm2();
+        bank.access(5, 0, &t);
+        let (_, outcome) = bank.access(5, 100, &t);
+        assert_eq!(outcome, RowBufferOutcome::Hit);
+        assert_eq!(bank.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn row_change_is_a_conflict() {
+        let mut bank = Bank::new();
+        let t = HbmTiming::hbm2();
+        bank.access(5, 0, &t);
+        let (_, outcome) = bank.access(6, 100, &t);
+        assert_eq!(outcome, RowBufferOutcome::Conflict);
+        assert_eq!(bank.open_row(), Some(6));
+    }
+
+    #[test]
+    fn back_to_back_requests_serialise() {
+        let mut bank = Bank::new();
+        let t = HbmTiming::hbm2();
+        let (first_done, _) = bank.access(1, 0, &t);
+        let (second_done, _) = bank.access(1, 0, &t);
+        assert!(second_done >= first_done + t.row_hit_latency);
+    }
+
+    #[test]
+    fn hit_rate_reflects_history() {
+        let mut bank = Bank::new();
+        let t = HbmTiming::hbm2();
+        assert_eq!(bank.hit_rate(), 0.0);
+        bank.access(1, 0, &t);
+        bank.access(1, 0, &t);
+        bank.access(1, 0, &t);
+        bank.access(2, 0, &t);
+        assert!((bank.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

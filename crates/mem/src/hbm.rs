@@ -1,0 +1,120 @@
+//! The full HBM stack: eight channels, one per NeuraChip tile.
+
+use crate::{HbmTiming, MemoryController};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate description of an HBM stack attached to the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmConfig {
+    /// Number of channels (== number of tiles; the paper uses 8).
+    pub channels: usize,
+    /// Timing of each channel.
+    pub timing: HbmTiming,
+    /// Capacity of each controller's read/write queues.
+    pub controller_queue_capacity: usize,
+}
+
+impl Default for HbmConfig {
+    fn default() -> Self {
+        HbmConfig { channels: 8, timing: HbmTiming::hbm2(), controller_queue_capacity: 64 }
+    }
+}
+
+/// The set of per-tile memory controllers backed by one HBM stack.
+#[derive(Debug)]
+pub struct HbmStack {
+    controllers: Vec<MemoryController>,
+    config: HbmConfig,
+}
+
+impl HbmStack {
+    /// Builds a stack with one controller per channel.
+    pub fn new(config: HbmConfig) -> Self {
+        let controllers = (0..config.channels)
+            .map(|tile| MemoryController::new(tile, config.timing, config.controller_queue_capacity))
+            .collect();
+        HbmStack { controllers, config }
+    }
+
+    /// The stack configuration.
+    pub fn config(&self) -> &HbmConfig {
+        &self.config
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// Access the controller of a specific channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel >= self.channels()`.
+    pub fn controller(&mut self, channel: usize) -> &mut MemoryController {
+        &mut self.controllers[channel]
+    }
+
+    /// Immutable access to a controller.
+    pub fn controller_ref(&self, channel: usize) -> &MemoryController {
+        &self.controllers[channel]
+    }
+
+    /// Iterate mutably over all controllers.
+    pub fn controllers_mut(&mut self) -> impl Iterator<Item = &mut MemoryController> {
+        self.controllers.iter_mut()
+    }
+
+    /// Aggregate peak bandwidth of the stack in GB/s at the given clock (GHz).
+    pub fn peak_bandwidth_gbps(&self, frequency_ghz: f64) -> f64 {
+        self.config.timing.peak_bandwidth_gbps(frequency_ghz) * self.channels() as f64
+    }
+
+    /// Total bytes moved across all channels so far.
+    pub fn total_bytes_transferred(&self) -> u64 {
+        self.controllers.iter().map(|c| c.channel().bytes_transferred()).sum()
+    }
+
+    /// Total requests still pending anywhere in the stack.
+    pub fn total_pending(&self) -> usize {
+        self.controllers.iter().map(|c| c.pending()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryRequest;
+    use neura_sim::Cycle;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let stack = HbmStack::new(HbmConfig::default());
+        assert_eq!(stack.channels(), 8);
+        assert!((stack.peak_bandwidth_gbps(1.0) - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channels_operate_independently() {
+        let mut stack = HbmStack::new(HbmConfig::default());
+        stack.controller(0).submit(MemoryRequest::read(0, 64), Cycle(0)).unwrap();
+        stack.controller(5).submit(MemoryRequest::read(0, 64), Cycle(0)).unwrap();
+        assert_eq!(stack.total_pending(), 2);
+        let mut done0 = Vec::new();
+        let mut done5 = Vec::new();
+        for c in 0..300u64 {
+            stack.controller(0).tick(Cycle(c), &mut done0);
+            stack.controller(5).tick(Cycle(c), &mut done5);
+        }
+        assert_eq!(done0.len(), 1);
+        assert_eq!(done5.len(), 1);
+        assert_eq!(stack.total_pending(), 0);
+        assert_eq!(stack.total_bytes_transferred(), 128);
+    }
+
+    #[test]
+    fn dual_stack_has_double_bandwidth() {
+        let dual = HbmStack::new(HbmConfig { timing: HbmTiming::hbm2_dual_stack(), ..Default::default() });
+        assert!((dual.peak_bandwidth_gbps(1.0) - 256.0).abs() < 1e-9);
+    }
+}

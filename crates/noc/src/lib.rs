@@ -1,0 +1,44 @@
+//! 2D-torus network-on-chip model.
+//!
+//! NeuraChip arranges NeuraCores and NeuraMems in an interleaved pattern
+//! "connected through a 2D torus network fabric" with on-chip routers
+//! carrying `HACC` instructions from cores to memory units (Section 3).
+//! This crate models that fabric:
+//!
+//! * [`TorusTopology`] — coordinates, wrap-around neighbours and minimal
+//!   hop distances,
+//! * [`Packet`] — a routed message with byte size and latency bookkeeping,
+//! * [`Router`] — per-node input-buffered router using dimension-order
+//!   routing with per-port bandwidth limits,
+//! * [`TorusNetwork`] — the assembled fabric with injection, per-cycle
+//!   advancement, delivery queues and traffic statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use neura_noc::{Packet, TorusNetwork, TorusTopology};
+//! use neura_sim::Cycle;
+//!
+//! let mut net = TorusNetwork::new(TorusTopology::new(4, 4), 8);
+//! net.inject(Packet::new(0, 0, 15, 16), Cycle(0)).unwrap();
+//! let mut delivered = Vec::new();
+//! for c in 0..64u64 {
+//!     net.tick(Cycle(c));
+//!     delivered.extend(net.drain_delivered(15));
+//!     if !delivered.is_empty() { break; }
+//! }
+//! assert_eq!(delivered.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod network;
+pub mod packet;
+pub mod router;
+pub mod topology;
+
+pub use network::{NetworkStats, TorusNetwork};
+pub use packet::Packet;
+pub use router::Router;
+pub use topology::{Direction, TorusTopology};

@@ -1,0 +1,69 @@
+//! The trait implemented by every modelled hardware block.
+
+use crate::Cycle;
+
+/// A hardware block advanced one clock cycle at a time.
+///
+/// The [`Engine`](crate::Engine) calls [`Component::tick`] for every
+/// component once per simulated cycle and uses [`Component::is_idle`] to
+/// detect quiescence (the point at which all queues are drained and no
+/// in-flight work remains).
+pub trait Component {
+    /// A short, stable name used in statistics and debugging output.
+    fn name(&self) -> &str;
+
+    /// Advances the component by one cycle.
+    fn tick(&mut self, cycle: Cycle);
+
+    /// Returns `true` when the component holds no in-flight work.
+    ///
+    /// The simulation terminates once *every* component reports idle, so an
+    /// implementation that never returns `true` will run until the engine's
+    /// cycle limit.
+    fn is_idle(&self) -> bool;
+
+    /// Optional per-component busy indicator for utilisation statistics.
+    ///
+    /// Defaults to the negation of [`Component::is_idle`].
+    fn is_busy(&self) -> bool {
+        !self.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountDown {
+        remaining: u32,
+    }
+
+    impl Component for CountDown {
+        fn name(&self) -> &str {
+            "countdown"
+        }
+        fn tick(&mut self, _cycle: Cycle) {
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+        fn is_idle(&self) -> bool {
+            self.remaining == 0
+        }
+    }
+
+    #[test]
+    fn default_busy_is_not_idle() {
+        let c = CountDown { remaining: 2 };
+        assert!(c.is_busy());
+        let done = CountDown { remaining: 0 };
+        assert!(!done.is_busy());
+    }
+
+    #[test]
+    fn components_are_object_safe() {
+        let mut c = CountDown { remaining: 1 };
+        let dyn_ref: &mut dyn Component = &mut c;
+        dyn_ref.tick(Cycle(0));
+        assert!(dyn_ref.is_idle());
+        assert_eq!(dyn_ref.name(), "countdown");
+    }
+}

@@ -1,0 +1,130 @@
+//! Strongly-typed cycle counter.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A clock-cycle timestamp.
+///
+/// All NeuraChip configurations run at 1 GHz (Table 3), so a cycle count
+/// converts directly to nanoseconds; [`Cycle::to_seconds`] takes the
+/// frequency explicitly so other clock domains can be modelled too.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero timestamp.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns the raw cycle count.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The next cycle.
+    #[must_use]
+    pub fn next(self) -> Cycle {
+        Cycle(self.0 + 1)
+    }
+
+    /// Converts the cycle count to seconds at the given clock frequency (Hz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_hz` is not finite and positive.
+    pub fn to_seconds(self, frequency_hz: f64) -> f64 {
+        assert!(
+            frequency_hz.is_finite() && frequency_hz > 0.0,
+            "clock frequency must be positive"
+        );
+        self.0 as f64 / frequency_hz
+    }
+
+    /// Saturating difference between two timestamps.
+    #[must_use]
+    pub fn saturating_sub(self, other: Cycle) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = u64;
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0.checked_sub(rhs.0).expect("cycle subtraction underflow")
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(value: u64) -> Self {
+        Cycle(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves() {
+        let c = Cycle(10);
+        assert_eq!(c + 5, Cycle(15));
+        assert_eq!(Cycle(15) - c, 5);
+        assert_eq!(c.next(), Cycle(11));
+        let mut d = c;
+        d += 3;
+        assert_eq!(d, Cycle(13));
+    }
+
+    #[test]
+    fn to_seconds_uses_frequency() {
+        let c = Cycle(2_000_000_000);
+        assert!((c.to_seconds(1e9) - 2.0).abs() < 1e-12);
+        assert!((c.to_seconds(2e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn to_seconds_rejects_zero_frequency() {
+        Cycle(1).to_seconds(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = Cycle(1) - Cycle(2);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Cycle(1).saturating_sub(Cycle(5)), 0);
+        assert_eq!(Cycle(9).saturating_sub(Cycle(5)), 4);
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        assert_eq!(Cycle::from(7u64).to_string(), "cycle 7");
+        assert_eq!(Cycle(42).as_u64(), 42);
+        assert_eq!(Cycle::ZERO, Cycle::default());
+    }
+}

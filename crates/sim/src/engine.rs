@@ -1,0 +1,228 @@
+//! The simulation driver.
+//!
+//! The [`Engine`] advances a set of [`Component`]s cycle by cycle until the
+//! whole machine is idle (every component reports [`Component::is_idle`])
+//! or a cycle limit is reached.  It also tracks aggregate busy/idle cycles,
+//! which feed the utilisation metrics of Figure 11.
+
+use crate::{Component, Cycle};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of an [`Engine::run`] call.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Cycle at which the run stopped (total simulated cycles).
+    pub cycles: u64,
+    /// Whether the machine drained before hitting the cycle limit.
+    pub completed: bool,
+    /// Sum over components of cycles in which the component was busy.
+    pub busy_component_cycles: u64,
+    /// Sum over components of cycles in which the component was idle.
+    pub idle_component_cycles: u64,
+}
+
+impl RunReport {
+    /// Average utilisation across all components, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_component_cycles + self.idle_component_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_component_cycles as f64 / total as f64
+        }
+    }
+}
+
+/// Drives a collection of components.
+#[derive(Debug, Default)]
+pub struct Engine {
+    current: Cycle,
+}
+
+impl Engine {
+    /// Creates an engine starting at cycle zero.
+    pub fn new() -> Self {
+        Engine { current: Cycle::ZERO }
+    }
+
+    /// The engine's current cycle.
+    pub fn current_cycle(&self) -> Cycle {
+        self.current
+    }
+
+    /// Runs until every component is idle or `max_cycles` have elapsed.
+    ///
+    /// Components are ticked in the order given, once per cycle; the order
+    /// is part of the model (e.g. dispatcher before cores before memories)
+    /// and is chosen by the caller.
+    pub fn run(&mut self, components: &mut [&mut dyn Component], max_cycles: u64) -> RunReport {
+        let mut busy = 0u64;
+        let mut idle = 0u64;
+        let start = self.current;
+        let mut completed = false;
+
+        while self.current.saturating_sub(start) < max_cycles {
+            if components.iter().all(|c| c.is_idle()) {
+                completed = true;
+                break;
+            }
+            for component in components.iter_mut() {
+                component.tick(self.current);
+                if component.is_busy() {
+                    busy += 1;
+                } else {
+                    idle += 1;
+                }
+            }
+            self.current += 1;
+        }
+        // A final check so that a machine that drains exactly at the limit
+        // still counts as complete.
+        if !completed && components.iter().all(|c| c.is_idle()) {
+            completed = true;
+        }
+
+        RunReport {
+            cycles: self.current.saturating_sub(start),
+            completed,
+            busy_component_cycles: busy,
+            idle_component_cycles: idle,
+        }
+    }
+
+    /// Runs a single closure-based step function until it reports idle or the
+    /// cycle budget is exhausted.  Useful for models that are not expressed
+    /// as a flat component list.
+    pub fn run_with<F>(&mut self, mut step: F, max_cycles: u64) -> RunReport
+    where
+        F: FnMut(Cycle) -> bool,
+    {
+        let start = self.current;
+        let mut completed = false;
+        while self.current.saturating_sub(start) < max_cycles {
+            let idle = step(self.current);
+            self.current += 1;
+            if idle {
+                completed = true;
+                break;
+            }
+        }
+        RunReport {
+            cycles: self.current.saturating_sub(start),
+            completed,
+            busy_component_cycles: 0,
+            idle_component_cycles: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyQueue;
+
+    struct Producer {
+        to_send: u32,
+        out: Vec<u32>,
+    }
+
+    impl Component for Producer {
+        fn name(&self) -> &str {
+            "producer"
+        }
+        fn tick(&mut self, _cycle: Cycle) {
+            if self.to_send > 0 {
+                self.out.push(self.to_send);
+                self.to_send -= 1;
+            }
+        }
+        fn is_idle(&self) -> bool {
+            self.to_send == 0
+        }
+    }
+
+    #[test]
+    fn run_terminates_when_all_idle() {
+        let mut p = Producer { to_send: 5, out: Vec::new() };
+        let mut engine = Engine::new();
+        let report = engine.run(&mut [&mut p], 100);
+        assert!(report.completed);
+        assert_eq!(p.out.len(), 5);
+        assert!(report.cycles >= 5);
+        assert!(report.cycles < 100);
+    }
+
+    #[test]
+    fn run_respects_cycle_limit() {
+        let mut p = Producer { to_send: 1_000, out: Vec::new() };
+        let mut engine = Engine::new();
+        let report = engine.run(&mut [&mut p], 10);
+        assert!(!report.completed);
+        assert_eq!(report.cycles, 10);
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut p = Producer { to_send: 4, out: Vec::new() };
+        let mut engine = Engine::new();
+        let report = engine.run(&mut [&mut p], 100);
+        assert!(report.utilization() > 0.0);
+        assert!(report.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn engine_cycle_advances_across_runs() {
+        let mut engine = Engine::new();
+        let mut p = Producer { to_send: 2, out: Vec::new() };
+        engine.run(&mut [&mut p], 100);
+        let after_first = engine.current_cycle();
+        let mut q = Producer { to_send: 2, out: Vec::new() };
+        engine.run(&mut [&mut q], 100);
+        assert!(engine.current_cycle() > after_first);
+    }
+
+    #[test]
+    fn run_with_closure_counts_cycles() {
+        let mut engine = Engine::new();
+        let mut remaining = 7u32;
+        let report = engine.run_with(
+            |_cycle| {
+                remaining = remaining.saturating_sub(1);
+                remaining == 0
+            },
+            100,
+        );
+        assert!(report.completed);
+        assert_eq!(report.cycles, 7);
+    }
+
+    #[test]
+    fn queue_backed_component_drains() {
+        struct Sink {
+            queue: LatencyQueue<u8>,
+            got: Vec<u8>,
+        }
+        impl Component for Sink {
+            fn name(&self) -> &str {
+                "sink"
+            }
+            fn tick(&mut self, cycle: Cycle) {
+                self.queue.advance(cycle);
+                if let Some(v) = self.queue.pop() {
+                    self.got.push(v);
+                }
+            }
+            fn is_idle(&self) -> bool {
+                self.queue.is_empty()
+            }
+        }
+        let mut sink = Sink { queue: LatencyQueue::new(8, 3), got: Vec::new() };
+        for v in 0..4u8 {
+            sink.queue.push(v, Cycle(0)).unwrap();
+        }
+        let mut engine = Engine::new();
+        let report = engine.run(&mut [&mut sink], 50);
+        assert!(report.completed);
+        assert_eq!(sink.got, vec![0, 1, 2, 3]);
+    }
+}

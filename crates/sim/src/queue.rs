@@ -1,0 +1,252 @@
+//! Bounded FIFO with a modelled latency — the building block of every
+//! buffer in the accelerator model.
+//!
+//! Instruction buffers (NeuraCore/NeuraMem), router packet buffers and the
+//! memory controller's read/write queues are all instances of
+//! [`LatencyQueue`]: items pushed at cycle `t` become visible to `pop` only
+//! at `t + latency`, and the queue refuses pushes beyond its capacity, which
+//! is how back-pressure propagates through the modelled pipeline.
+
+use crate::Cycle;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned when pushing into a full [`LatencyQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFullError {
+    /// Capacity of the queue that rejected the push.
+    pub capacity: usize,
+}
+
+impl fmt::Display for QueueFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queue is full (capacity {})", self.capacity)
+    }
+}
+
+impl std::error::Error for QueueFullError {}
+
+/// A bounded FIFO whose elements become visible `latency` cycles after they
+/// were pushed.
+#[derive(Debug, Clone)]
+pub struct LatencyQueue<T> {
+    items: VecDeque<(Cycle, T)>,
+    capacity: usize,
+    latency: u64,
+    now: Cycle,
+    total_pushed: u64,
+    total_popped: u64,
+    occupancy_accumulator: u64,
+    occupancy_samples: u64,
+    peak_occupancy: usize,
+}
+
+impl<T> LatencyQueue<T> {
+    /// Creates a queue with the given capacity (in items) and latency (in cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, latency: u64) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        LatencyQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            latency,
+            now: Cycle::ZERO,
+            total_pushed: 0,
+            total_popped: 0,
+            occupancy_accumulator: 0,
+            occupancy_samples: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Advances the queue's notion of the current cycle and samples occupancy
+    /// statistics.  Call once per simulated cycle before popping.
+    pub fn advance(&mut self, cycle: Cycle) {
+        self.now = self.now.max(cycle);
+        self.occupancy_accumulator += self.items.len() as u64;
+        self.occupancy_samples += 1;
+    }
+
+    /// Pushes an item that becomes visible `latency` cycles after `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFullError`] when the queue already holds `capacity` items.
+    pub fn push(&mut self, item: T, cycle: Cycle) -> Result<(), QueueFullError> {
+        if self.items.len() >= self.capacity {
+            return Err(QueueFullError { capacity: self.capacity });
+        }
+        self.items.push_back((cycle + self.latency, item));
+        self.total_pushed += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.items.len());
+        Ok(())
+    }
+
+    /// Pops the oldest item whose latency has elapsed at the current cycle.
+    pub fn pop(&mut self) -> Option<T> {
+        match self.items.front() {
+            Some((ready, _)) if *ready <= self.now => {
+                self.total_popped += 1;
+                self.items.pop_front().map(|(_, item)| item)
+            }
+            _ => None,
+        }
+    }
+
+    /// Peeks at the oldest ready item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        match self.items.front() {
+            Some((ready, item)) if *ready <= self.now => Some(item),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when an item is ready to be popped this cycle.
+    pub fn has_ready(&self) -> bool {
+        self.peek().is_some()
+    }
+
+    /// Number of items currently stored (ready or still in flight).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when the queue stores no items at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` when the queue cannot accept another item.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// The queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The modelled latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Total number of items ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Total number of items ever popped.
+    pub fn total_popped(&self) -> u64 {
+        self.total_popped
+    }
+
+    /// Mean occupancy over all sampled cycles.
+    pub fn average_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.occupancy_accumulator as f64 / self.occupancy_samples as f64
+        }
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_respect_latency() {
+        let mut q = LatencyQueue::new(4, 3);
+        q.push("a", Cycle(0)).unwrap();
+        q.advance(Cycle(0));
+        assert!(q.pop().is_none());
+        q.advance(Cycle(2));
+        assert!(q.pop().is_none());
+        q.advance(Cycle(3));
+        assert_eq!(q.pop(), Some("a"));
+    }
+
+    #[test]
+    fn zero_latency_items_are_immediately_ready() {
+        let mut q = LatencyQueue::new(2, 0);
+        q.push(1, Cycle(5)).unwrap();
+        q.advance(Cycle(5));
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut q = LatencyQueue::new(2, 0);
+        q.push(1, Cycle(0)).unwrap();
+        q.push(2, Cycle(0)).unwrap();
+        let err = q.push(3, Cycle(0)).unwrap_err();
+        assert_eq!(err, QueueFullError { capacity: 2 });
+        assert!(q.is_full());
+        assert_eq!(q.free_slots(), 0);
+    }
+
+    #[test]
+    fn fifo_ordering_is_preserved() {
+        let mut q = LatencyQueue::new(8, 1);
+        for v in 0..5 {
+            q.push(v, Cycle(0)).unwrap();
+        }
+        q.advance(Cycle(1));
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn statistics_track_traffic() {
+        let mut q = LatencyQueue::new(4, 0);
+        q.push(1, Cycle(0)).unwrap();
+        q.push(2, Cycle(0)).unwrap();
+        q.advance(Cycle(0));
+        q.pop();
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.total_popped(), 1);
+        assert_eq!(q.peak_occupancy(), 2);
+        assert!(q.average_occupancy() > 0.0);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = LatencyQueue::new(2, 0);
+        q.push(9, Cycle(0)).unwrap();
+        q.advance(Cycle(0));
+        assert_eq!(q.peek(), Some(&9));
+        assert_eq!(q.len(), 1);
+        assert!(q.has_ready());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _: LatencyQueue<u8> = LatencyQueue::new(0, 1);
+    }
+
+    #[test]
+    fn time_never_goes_backwards() {
+        let mut q = LatencyQueue::new(2, 1);
+        q.advance(Cycle(10));
+        q.push(1, Cycle(10)).unwrap();
+        // Advancing with an older cycle must not rewind the clock.
+        q.advance(Cycle(3));
+        q.advance(Cycle(11));
+        assert_eq!(q.pop(), Some(1));
+    }
+}

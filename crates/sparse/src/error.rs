@@ -1,0 +1,103 @@
+//! Error type shared by all fallible constructors in `neura-sparse`.
+
+use std::fmt;
+
+/// Errors produced when constructing or converting sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column index lies outside the declared matrix shape.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// The row-pointer (or column-pointer) array is malformed: wrong length,
+    /// not monotonically non-decreasing, or its last element does not equal
+    /// the number of stored values.
+    MalformedPointers {
+        /// Human-readable description of the structural violation.
+        detail: String,
+    },
+    /// The index array and value array have different lengths.
+    LengthMismatch {
+        /// Length of the index array.
+        indices: usize,
+        /// Length of the value array.
+        values: usize,
+    },
+    /// Two matrices have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand as (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right operand as (rows, cols).
+        right: (usize, usize),
+    },
+    /// A generator was asked for more edges than the graph can hold.
+    TooManyEdges {
+        /// Number of edges requested.
+        requested: usize,
+        /// Maximum number of edges the shape supports.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {rows}x{cols} matrix shape"
+            ),
+            SparseError::MalformedPointers { detail } => {
+                write!(f, "malformed pointer array: {detail}")
+            }
+            SparseError::LengthMismatch { indices, values } => write!(
+                f,
+                "index array has {indices} elements but value array has {values}"
+            ),
+            SparseError::ShapeMismatch { left, right } => write!(
+                f,
+                "incompatible shapes {}x{} and {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::TooManyEdges { requested, capacity } => write!(
+                f,
+                "requested {requested} edges but the shape only supports {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = SparseError::IndexOutOfBounds { row: 5, col: 9, rows: 4, cols: 4 };
+        let text = err.to_string();
+        assert!(text.contains("(5, 9)"));
+        assert!(text.contains("4x4"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+
+    #[test]
+    fn shape_mismatch_mentions_both_shapes() {
+        let err = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5) };
+        let text = err.to_string();
+        assert!(text.contains("2x3"));
+        assert!(text.contains("4x5"));
+    }
+}

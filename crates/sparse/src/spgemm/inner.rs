@@ -1,0 +1,90 @@
+//! Inner-product (output stationary) SpGEMM.
+
+use crate::{CooMatrix, CsrMatrix};
+
+/// Computes `C = A × B` with the inner-product dataflow.
+///
+/// Each output element `c_ij` is computed directly as the dot product of row
+/// `i` of `A` and column `j` of `B` (accessed through `B`'s CSC form).  This
+/// is the dataflow of InnerSP; it has poor input reuse but needs no on-chip
+/// accumulation, which is why the paper contrasts it with Gustavson's
+/// approach.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn inner_product(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let b_csc = b.to_csc();
+    let mut coo = CooMatrix::new(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        let (a_cols, a_vals) = a.row(i);
+        if a_cols.is_empty() {
+            continue;
+        }
+        for j in 0..b.cols() {
+            let (b_rows, b_vals) = b_csc.col(j);
+            if b_rows.is_empty() {
+                continue;
+            }
+            // Sorted-merge dot product of the two index lists.
+            let mut acc = 0.0;
+            let mut hit = false;
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < a_cols.len() && q < b_rows.len() {
+                match a_cols[p].cmp(&b_rows[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        acc += a_vals[p] * b_vals[q];
+                        hit = true;
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            if hit {
+                coo.push(i, j, acc).expect("output coordinate is in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GraphGenerator;
+    use crate::spgemm::gustavson;
+
+    #[test]
+    fn agrees_with_gustavson() {
+        let a = GraphGenerator::power_law(64, 400, 2.1, 11).generate().to_csr();
+        let b = GraphGenerator::power_law(64, 380, 2.3, 12).generate().to_csr();
+        let inner = inner_product(&a, &b);
+        let row_wise = gustavson(&a, &b);
+        assert_eq!(inner.nnz(), row_wise.nnz());
+        assert!(inner.to_dense().max_abs_diff(&row_wise.to_dense()).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn keeps_structural_zeros_from_cancellation() {
+        // a_i . b_j = 1*1 + 1*(-1) = 0: the entry is still structurally produced.
+        let a = CooMatrix::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)])
+            .unwrap()
+            .to_csr();
+        let b = CooMatrix::from_triplets(2, 1, vec![(0, 0, 1.0), (1, 0, -1.0)])
+            .unwrap()
+            .to_csr();
+        let c = inner_product(&a, &b);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_output() {
+        let a = CsrMatrix::zeros(3, 3);
+        let b = CsrMatrix::zeros(3, 3);
+        assert_eq!(inner_product(&a, &b).nnz(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: run a sparse matrix multiplication on the NeuraChip model and
+//! check it against the reference Gustavson kernel.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use neurachip_repro::chip::accelerator::Accelerator;
+use neurachip_repro::chip::config::ChipConfig;
+use neurachip_repro::sparse::gen::GraphGenerator;
+use neurachip_repro::sparse::spgemm;
+
+fn main() {
+    // 1. Build a small scale-free graph (the adjacency matrix A).
+    let a = GraphGenerator::power_law(256, 2_000, 2.1, 42).generate().to_csr();
+    println!("graph: {} nodes, {} edges, {:.3}% sparse", a.rows(), a.nnz(), a.sparsity() * 100.0);
+
+    // 2. Run the aggregation-style SpGEMM A x A on the Tile-16 NeuraChip.
+    let mut chip = Accelerator::new(ChipConfig::tile_16());
+    let run = chip.run_spgemm(&a, &a).expect("simulation drains");
+
+    // 3. Verify the accelerator's output against the reference kernel.
+    let reference = spgemm::gustavson(&a, &a);
+    let diff = run
+        .product
+        .to_dense()
+        .max_abs_diff(&reference.to_dense())
+        .expect("shapes match");
+    println!("output nnz            : {}", run.product.nnz());
+    println!("max |simulated - ref| : {diff:.2e}");
+    assert!(diff < 1e-9, "accelerator output must match the reference");
+
+    // 4. Inspect the headline statistics.
+    let r = &run.report;
+    println!("total cycles          : {}", r.total_cycles);
+    println!("MMH4 instructions     : {}", r.mmh_instructions);
+    println!("HACC instructions     : {}", r.hacc_instructions);
+    println!("average MMH CPI       : {:.1}", r.cpi);
+    println!("achieved GOP/s        : {:.2}", r.gops);
+    println!("core utilisation      : {:.1}%", r.core_utilization * 100.0);
+    println!("peak HashPad occupancy: {}", r.peak_hashpad_occupancy);
+    println!("DRAM read / written   : {} / {} bytes", r.dram_bytes_read, r.dram_bytes_written);
+}
