@@ -114,7 +114,9 @@ impl SpgemmModel for SpgemmPlatform {
             // slightly when the reduction fan-in is high (more work per byte)
             // and degrade on very skewed degree distributions.
             SpgemmPlatform::CpuMkl => base * fanin_ratio.powf(0.30) / imbalance_ratio.powf(0.15),
-            SpgemmPlatform::GpuCusparse | SpgemmPlatform::GpuCusp | SpgemmPlatform::GpuHipsparse => {
+            SpgemmPlatform::GpuCusparse
+            | SpgemmPlatform::GpuCusp
+            | SpgemmPlatform::GpuHipsparse => {
                 base * fanin_ratio.powf(0.35) / imbalance_ratio.powf(0.25)
             }
             // Outer-product designs pay for the memory bloat: every partial
@@ -131,8 +133,8 @@ impl SpgemmModel for SpgemmPlatform {
         };
         // No platform exceeds its bandwidth roofline on the compulsory traffic.
         let compulsory_bytes = (workload.input_bytes() + workload.output_bytes()) as f64;
-        let roofline_gops = spec.off_chip_bandwidth_gbps * workload.flops() as f64
-            / compulsory_bytes.max(1.0);
+        let roofline_gops =
+            spec.off_chip_bandwidth_gbps * workload.flops() as f64 / compulsory_bytes.max(1.0);
         PlatformEstimate::from_gops(workload, gops.min(roofline_gops).min(spec.peak_gflops))
     }
 }
@@ -210,8 +212,10 @@ mod tests {
     fn outerspace_suffers_most_on_high_bloat_workloads() {
         let fb = DatasetCatalog::by_name("facebook").unwrap();
         let road = DatasetCatalog::by_name("roadNet-CA").unwrap();
-        let high_bloat = WorkloadProfile::from_square("facebook", &fb.generate_scaled(8, 1).to_csr());
-        let low_bloat = WorkloadProfile::from_square("road", &road.generate_scaled(2048, 1).to_csr());
+        let high_bloat =
+            WorkloadProfile::from_square("facebook", &fb.generate_scaled(8, 1).to_csr());
+        let low_bloat =
+            WorkloadProfile::from_square("road", &road.generate_scaled(2048, 1).to_csr());
         let outer = SpgemmPlatform::OuterSpace;
         assert!(high_bloat.bloat_percent > low_bloat.bloat_percent);
         assert!(outer.estimate(&high_bloat).gops < outer.estimate(&low_bloat).gops);

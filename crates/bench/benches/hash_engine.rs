@@ -9,7 +9,9 @@ use neura_sim::Cycle;
 fn bench_hash_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash_engine");
     group.sample_size(20);
-    for (name, policy) in [("rolling", EvictionPolicy::Rolling), ("barrier", EvictionPolicy::Barrier)] {
+    for (name, policy) in
+        [("rolling", EvictionPolicy::Rolling), ("barrier", EvictionPolicy::Barrier)]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
             b.iter(|| {
                 let mut mem = NeuraMem::new(0, ChipConfig::tile_16().mem, policy);

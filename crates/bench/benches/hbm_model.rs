@@ -15,10 +15,12 @@ fn bench_hbm(c: &mut Criterion) {
                 let mut submitted = 0u64;
                 let mut cycle = 0u64;
                 while done.len() < 2_000 {
-                    if submitted < 2_000 {
-                        if ctrl.submit(MemoryRequest::read(submitted * stride, 64), Cycle(cycle)).is_some() {
-                            submitted += 1;
-                        }
+                    if submitted < 2_000
+                        && ctrl
+                            .submit(MemoryRequest::read(submitted * stride, 64), Cycle(cycle))
+                            .is_some()
+                    {
+                        submitted += 1;
                     }
                     ctrl.tick(Cycle(cycle), &mut done);
                     cycle += 1;

@@ -1,7 +1,7 @@
 //! Design-space ablations called out in DESIGN.md: compute mapping, eviction
 //! policy, MMH tile height and HashPad size, all on the Cora-analog SpGEMM.
 //!
-//! Run with `cargo run --release -p neura-bench --bin ablation`.
+//! Run with `cargo run --release -p neura_bench --bin ablation`.
 
 use neura_bench::{fmt, print_table, scaled_matrix};
 use neura_chip::accelerator::Accelerator;
@@ -36,7 +36,9 @@ fn main() {
 
     // (2) Eviction-policy ablation.
     let mut rows = Vec::new();
-    for (name, policy) in [("rolling", EvictionPolicy::Rolling), ("barrier", EvictionPolicy::Barrier)] {
+    for (name, policy) in
+        [("rolling", EvictionPolicy::Rolling), ("barrier", EvictionPolicy::Barrier)]
+    {
         let mut chip = Accelerator::new(ChipConfig::tile_16().with_eviction(policy));
         let run = chip.run_spgemm(&a, &a).expect("simulation drains");
         rows.push(vec![

@@ -1,7 +1,7 @@
 //! Figure 11 — architectural impact of the tile configuration on a GCN
 //! (Cora) workload, normalised to Tile-4.
 //!
-//! Run with `cargo run --release -p neura-bench --bin fig11`.
+//! Run with `cargo run --release -p neura_bench --bin fig11`.
 
 use neura_bench::{fmt, print_table, scaled_matrix};
 use neura_chip::accelerator::Accelerator;

@@ -5,7 +5,7 @@
 //! tag of the SpGEMM onto the 32 NeuraMems of the Tile-16 configuration and
 //! reports the per-unit workload distribution (max/mean ratio, coefficient of
 //! variation and Gini coefficient).  Run with
-//! `cargo run --release -p neura-bench --bin fig13`.
+//! `cargo run --release -p neura_bench --bin fig13`.
 
 use neura_bench::{fmt, print_table, scaled_matrix};
 use neura_chip::mapping::{workload_histogram, MappingKind};
@@ -56,10 +56,7 @@ fn main() {
                 fmt(cv, 3),
                 fmt(gini(&histogram), 3),
                 histogram.iter().max().copied().unwrap_or(0).to_string(),
-                fmt(
-                    histogram.iter().sum::<u64>() as f64 / UNITS as f64,
-                    1,
-                ),
+                fmt(histogram.iter().sum::<u64>() as f64 / UNITS as f64, 1),
             ]);
         }
     }

@@ -3,7 +3,7 @@
 //! Runs the same Cora-analog SpGEMM on the Tile-16 configuration with each
 //! MMH tile height and prints the per-instruction cycle-count histogram
 //! (percentage of instructions per 25-cycle bin) plus the average.
-//! Run with `cargo run --release -p neura-bench --bin fig14`.
+//! Run with `cargo run --release -p neura_bench --bin fig14`.
 
 use neura_bench::{fmt, print_table, scaled_matrix};
 use neura_chip::accelerator::Accelerator;

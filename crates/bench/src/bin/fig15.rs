@@ -1,7 +1,7 @@
 //! Figure 15 — HACC completion-latency histogram: barrier-based eviction
 //! (HACC-BE) versus rolling eviction (HACC-RE).
 //!
-//! Run with `cargo run --release -p neura-bench --bin fig15`.
+//! Run with `cargo run --release -p neura_bench --bin fig15`.
 
 use neura_bench::{fmt, print_table, scaled_matrix};
 use neura_chip::accelerator::Accelerator;
@@ -14,9 +14,10 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut labels: Vec<String> = Vec::new();
-    for (name, policy) in
-        [("HACC-BE (barrier)", EvictionPolicy::Barrier), ("HACC-RE (rolling)", EvictionPolicy::Rolling)]
-    {
+    for (name, policy) in [
+        ("HACC-BE (barrier)", EvictionPolicy::Barrier),
+        ("HACC-RE (rolling)", EvictionPolicy::Rolling),
+    ] {
         // The HashPad is scaled down with the dataset (the full 2048-line pad
         // of Tile-16 would never fill on a 512x-scaled graph, hiding the
         // pressure the paper's full-size runs exhibit).

@@ -1,7 +1,7 @@
 //! Figure 16 — SpGEMM speedup of NeuraChip Tile-16 over CPUs, GPUs and prior
 //! SpGEMM accelerators, per dataset plus the geometric mean.
 //!
-//! Run with `cargo run --release -p neura-bench --bin fig16`.
+//! Run with `cargo run --release -p neura_bench --bin fig16`.
 
 use neura_baselines::spgemm::{geometric_mean, SpgemmModel, SpgemmPlatform};
 use neura_baselines::WorkloadProfile;

@@ -1,6 +1,6 @@
 //! Figure 17 — GCN speedup of NeuraChip Tile-16 over prior GNN accelerators.
 //!
-//! Run with `cargo run --release -p neura-bench --bin fig17`.
+//! Run with `cargo run --release -p neura_bench --bin fig17`.
 
 use neura_baselines::gnn::{speedup_over, GnnModel, GnnPlatform};
 use neura_baselines::WorkloadProfile;
@@ -39,10 +39,12 @@ fn main() {
     }
     rows.push(avg_row);
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print_table("Figure 17: NeuraChip Tile-16 speedup over GNN accelerators (GCN layer)", &header_refs, &rows);
-    println!(
-        "\nPaper average speedups: EnGN 1.29x, GROW 1.58x, HyGCN 1.69x, FlowGNN 1.30x."
+    print_table(
+        "Figure 17: NeuraChip Tile-16 speedup over GNN accelerators (GCN layer)",
+        &header_refs,
+        &rows,
     );
+    println!("\nPaper average speedups: EnGN 1.29x, GROW 1.58x, HyGCN 1.69x, FlowGNN 1.30x.");
 
     // Cycle-level evidence: one GCN layer on a Cora analog.
     let cora = DatasetCatalog::by_name("cora").expect("cora exists");

@@ -2,7 +2,7 @@
 //!
 //! Regenerates, for a synthetic analog of every Table-1 dataset, the bloat
 //! percent of the self-product `A × A` and prints it next to the paper's
-//! reported value.  Run with `cargo run --release -p neura-bench --bin table1`.
+//! reported value.  Run with `cargo run --release -p neura_bench --bin table1`.
 
 use neura_bench::{fmt, print_table, scaled_matrix, MODEL_SCALE};
 use neura_sparse::{bloat, DatasetCatalog};
@@ -20,10 +20,7 @@ fn main() {
             a.rows().to_string(),
             a.nnz().to_string(),
             fmt(report.bloat_percent, 2),
-            dataset
-                .paper_bloat_percent
-                .map(|b| fmt(b, 2))
-                .unwrap_or_else(|| "-".to_string()),
+            dataset.paper_bloat_percent.map(|b| fmt(b, 2)).unwrap_or_else(|| "-".to_string()),
         ]);
     }
     print_table(

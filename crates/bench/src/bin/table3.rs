@@ -1,12 +1,13 @@
 //! Tables 2 and 3 — per-component and whole-chip configuration parameters.
 //!
-//! Run with `cargo run --release -p neura-bench --bin table3`.
+//! Run with `cargo run --release -p neura_bench --bin table3`.
 
 use neura_bench::{fmt, print_table};
 use neura_chip::config::{ChipConfig, TileSize};
 
 fn main() {
-    let configs: Vec<ChipConfig> = TileSize::ALL.iter().map(|t| ChipConfig::for_tile_size(*t)).collect();
+    let configs: Vec<ChipConfig> =
+        TileSize::ALL.iter().map(|t| ChipConfig::for_tile_size(*t)).collect();
 
     let component_rows = vec![
         row("Pipeline Registers", &configs, |c| c.core.pipeline_registers.to_string()),

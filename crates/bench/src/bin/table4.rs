@@ -1,6 +1,6 @@
 //! Table 4 — NeuraChip power and area breakdown per component.
 //!
-//! Run with `cargo run --release -p neura-bench --bin table4`.
+//! Run with `cargo run --release -p neura_bench --bin table4`.
 
 use neura_bench::{fmt, print_table};
 use neura_chip::config::TileSize;

@@ -3,7 +3,7 @@
 //! Prints the static platform specifications, the modeled SpGEMM throughput
 //! on the common matrix suite and the derived efficiency metrics, plus the
 //! Tile-16 speedup row.  Run with
-//! `cargo run --release -p neura-bench --bin table5`.
+//! `cargo run --release -p neura_bench --bin table5`.
 
 use neura_baselines::spgemm::{geometric_mean, SpgemmModel, SpgemmPlatform};
 use neura_baselines::WorkloadProfile;

@@ -18,8 +18,39 @@ pub const SIM_SCALE: usize = 512;
 /// larger fraction of the original size is retained).
 pub const MODEL_SCALE: usize = 64;
 
+/// Environment variable multiplying every down-scaling factor used by the
+/// figure/table binaries.
+///
+/// Setting e.g. `NEURA_BENCH_SCALE_MULT=16` shrinks each workload a further
+/// 16× (graphs never shrink below 32 nodes), turning every binary into a
+/// seconds-long smoke run.  CI uses this to prove the binaries execute end to
+/// end without paying full simulation cost; leave it unset for paper-scale
+/// results.
+pub const SCALE_MULT_ENV: &str = "NEURA_BENCH_SCALE_MULT";
+
+/// The extra down-scaling multiplier from [`SCALE_MULT_ENV`] (1 if unset).
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a positive integer: a typo here
+/// would otherwise silently run the full paper-scale simulation, which is
+/// exactly what the caller was trying to avoid.
+pub fn scale_multiplier() -> usize {
+    match std::env::var(SCALE_MULT_ENV) {
+        Err(_) => 1,
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(mult) if mult >= 1 => mult,
+            _ => panic!("{SCALE_MULT_ENV}={raw:?} is not a positive integer"),
+        },
+    }
+}
+
 /// Generates the scaled CSR adjacency matrix of a dataset with a fixed seed.
+///
+/// The effective scale is `scale` times [`scale_multiplier`], so the smoke
+/// multiplier applies uniformly to every binary that goes through here.
 pub fn scaled_matrix(dataset: &Dataset, scale: usize) -> CsrMatrix {
+    let scale = scale.saturating_mul(scale_multiplier());
     dataset.generate_scaled(scale, 0xDA7A + dataset.nodes as u64).to_csr()
 }
 
@@ -34,8 +65,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let header_line: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{:<width$}", h, width = widths[i])).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+        .collect();
     println!("{}", header_line.join("  "));
     println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
     for row in rows {

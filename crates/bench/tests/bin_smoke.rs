@@ -1,0 +1,44 @@
+//! Smoke tests proving every paper figure/table binary runs to completion.
+//!
+//! Each binary is executed as a real subprocess (the exact artifact `cargo
+//! run` would launch) with [`neura_bench::SCALE_MULT_ENV`] set so the
+//! workloads shrink to seconds even in debug builds.  The assertions are
+//! deliberately weak — exit status 0 and non-empty stdout — because the
+//! numeric content at smoke scale is not meaningful; correctness of the
+//! underlying models is covered by the unit and property tests.
+
+use std::process::Command;
+
+/// Extra down-scaling applied on top of each binary's own scale factor.
+const SMOKE_MULT: &str = "32";
+
+fn run_smoke(name: &str, exe: &str) {
+    let output = Command::new(exe)
+        .env(neura_bench::SCALE_MULT_ENV, SMOKE_MULT)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {name} ({exe}): {e}"));
+    assert!(
+        output.status.success(),
+        "{name} exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(!output.stdout.is_empty(), "{name} produced no output on stdout");
+}
+
+macro_rules! bin_smoke_tests {
+    ($($name:ident),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                run_smoke(stringify!($name), env!(concat!("CARGO_BIN_EXE_", stringify!($name))));
+            }
+        )+
+    };
+}
+
+bin_smoke_tests! {
+    table1, table3, table4, table5,
+    fig11, fig13, fig14, fig15, fig16, fig17,
+    ablation,
+}

@@ -241,9 +241,8 @@ impl Accelerator {
         let total_mems = cfg.total_mems();
 
         // --- build the machine ---------------------------------------------
-        let mut cores: Vec<NeuraCore> = (0..total_cores)
-            .map(|i| NeuraCore::new(i, i / cfg.cores_per_tile, cfg.core))
-            .collect();
+        let mut cores: Vec<NeuraCore> =
+            (0..total_cores).map(|i| NeuraCore::new(i, i / cfg.cores_per_tile, cfg.core)).collect();
         for core in &mut cores {
             core.prepare(program.output_shape.1 as u64);
         }
@@ -319,10 +318,10 @@ impl Accelerator {
             });
 
             // (2, 5) Tick the cores: collect memory requests and HACCs.
-            for core_idx in 0..total_cores {
+            for (core_idx, core) in cores.iter_mut().enumerate() {
                 let credit = if retry_injections.len() > 256 { 0 } else { cfg.core.ports };
-                let out = cores[core_idx].tick(now, credit);
-                let tile = cores[core_idx].tile();
+                let out = core.tick(now, credit);
+                let tile = core.tile();
                 for req in out.memory_requests {
                     match controllers[tile].submit(req.request, now) {
                         Some(id) => {
@@ -330,7 +329,11 @@ impl Accelerator {
                         }
                         None => {
                             // Encode (core, pipeline) into one usize for the retry list.
-                            retry_mem_requests.push((tile, (core_idx << 8) | req.pipeline, req.request));
+                            retry_mem_requests.push((
+                                tile,
+                                (core_idx << 8) | req.pipeline,
+                                req.request,
+                            ));
                         }
                     }
                 }
@@ -374,18 +377,18 @@ impl Accelerator {
             }
             retry_accepts = still_pending_accepts;
 
-            for mem_idx in 0..total_mems {
+            for (mem_idx, mem) in mems.iter_mut().enumerate() {
                 for packet in noc.drain_delivered(mem_node(mem_idx)) {
                     let hacc = packet_payloads
                         .remove(&packet.id)
                         .expect("every delivered packet has a registered payload");
-                    if !mems[mem_idx].accept(hacc) {
+                    if !mem.accept(hacc) {
                         retry_accepts.push((mem_idx, hacc));
                     }
                 }
-                mems[mem_idx].tick(now);
+                mem.tick(now);
                 // (8) Collect evictions and write them back.
-                for evicted in mems[mem_idx].drain_evicted() {
+                for evicted in mem.drain_evicted() {
                     outputs.insert(evicted.tag, evicted.value);
                     let addr = compiler::layout::OUTPUT_BASE + evicted.tag * 8;
                     let request = MemoryRequest::write(addr, 8);
@@ -397,7 +400,8 @@ impl Accelerator {
             }
 
             // Retry write-backs rejected earlier.
-            retry_writebacks.retain(|(tile, request)| controllers[*tile].submit(*request, now).is_none());
+            retry_writebacks
+                .retain(|(tile, request)| controllers[*tile].submit(*request, now).is_none());
 
             // (3, 4) Tick the memory controllers and deliver read responses.
             completed_responses.clear();
@@ -408,7 +412,8 @@ impl Accelerator {
                 in_flight_now += controller.in_flight();
                 for response in done {
                     if response.request.is_read() {
-                        if let Some((core_idx, pipeline)) = read_owner.remove(&(tile, response.id)) {
+                        if let Some((core_idx, pipeline)) = read_owner.remove(&(tile, response.id))
+                        {
                             cores[core_idx].memory_response(pipeline);
                         }
                     }
@@ -445,13 +450,13 @@ impl Accelerator {
                 retry_writebacks.extend(flush_writes);
                 // Epilogue: keep ticking the memory system until every
                 // outstanding write-back has been committed to DRAM.
-                while (!retry_writebacks.is_empty()
-                    || controllers.iter().any(|c| c.pending() > 0))
+                while (!retry_writebacks.is_empty() || controllers.iter().any(|c| c.pending() > 0))
                     && cycle < max_cycles
                 {
                     let now = Cycle(cycle);
-                    retry_writebacks
-                        .retain(|(tile, request)| controllers[*tile].submit(*request, now).is_none());
+                    retry_writebacks.retain(|(tile, request)| {
+                        controllers[*tile].submit(*request, now).is_none()
+                    });
                     for controller in controllers.iter_mut() {
                         let mut done = Vec::new();
                         controller.tick(now, &mut done);
@@ -531,7 +536,11 @@ impl Accelerator {
             core_stall_cycles: core_stall,
             core_idle_cycles: core_idle,
             cpi: mmh_cpi_histogram.mean(),
-            ipc: if total_cycles == 0 { 0.0 } else { mmh_instructions as f64 / total_cycles as f64 },
+            ipc: if total_cycles == 0 {
+                0.0
+            } else {
+                mmh_instructions as f64 / total_cycles as f64
+            },
             mmh_cpi_histogram,
             hacc_latency_histogram,
             core_work_histogram: core_work,
@@ -637,17 +646,27 @@ mod tests {
     #[test]
     fn drhm_balances_mem_work_better_than_ring() {
         use neura_sparse::stats::imbalance;
-        let a = small_graph(96, 5);
-        let run_with = |kind: MappingKind| {
-            let mut chip = Accelerator::new(ChipConfig::tile_16().with_mapping(kind));
-            let run = chip.run_spgemm(&a, &a).unwrap();
-            imbalance(&run.report.mem_work_histogram).0
+        // Load balance is a statistical property of the workload draw, so
+        // compare the mappings on their mean peak/mean ratio across several
+        // graphs rather than on a single (lucky or unlucky) seed.
+        let seeds = [1u64, 2, 3, 4, 5, 6];
+        let mean_imbalance = |kind: MappingKind| {
+            let total: f64 = seeds
+                .iter()
+                .map(|&seed| {
+                    let a = small_graph(96, seed);
+                    let mut chip = Accelerator::new(ChipConfig::tile_16().with_mapping(kind));
+                    let run = chip.run_spgemm(&a, &a).unwrap();
+                    imbalance(&run.report.mem_work_histogram).0
+                })
+                .sum();
+            total / seeds.len() as f64
         };
-        let ring = run_with(MappingKind::Ring);
-        let drhm = run_with(MappingKind::Drhm);
+        let ring = mean_imbalance(MappingKind::Ring);
+        let drhm = mean_imbalance(MappingKind::Drhm);
         assert!(
             drhm <= ring * 1.05,
-            "DRHM peak/mean {drhm} should not exceed ring hashing {ring}"
+            "DRHM mean peak/mean {drhm} should not exceed ring hashing {ring}"
         );
     }
 
@@ -677,14 +696,8 @@ mod tests {
         let mut chip = Accelerator::new(ChipConfig::tile_4());
         let run = chip.run_spgemm(&a, &a).unwrap();
         assert_eq!(run.report.hacc_instructions, stats.multiplications);
-        assert_eq!(
-            run.report.core_work_histogram.iter().sum::<u64>(),
-            stats.multiplications
-        );
-        assert_eq!(
-            run.report.mem_work_histogram.iter().sum::<u64>(),
-            stats.multiplications
-        );
+        assert_eq!(run.report.core_work_histogram.iter().sum::<u64>(), stats.multiplications);
+        assert_eq!(run.report.mem_work_histogram.iter().sum::<u64>(), stats.multiplications);
         assert!(run.report.dram_bytes_read > 0);
         assert!(run.report.dram_bytes_written >= run.report.evictions * 8);
         assert!(run.report.core_utilization > 0.0 && run.report.core_utilization <= 1.0);

@@ -138,8 +138,8 @@ pub fn compile_spgemm(a: &CscMatrix, b: &CsrMatrix, tile: u8) -> Program {
                 a_data_addr: (layout::A_DATA_BASE + (a_cursor + chunk_start as u64) * 8) as u32,
                 b_col_ind_addr: (layout::B_COL_IDX_BASE + b_row_start * 4) as u32,
                 b_data_addr: (layout::B_DATA_BASE + b_row_start * 8) as u32,
-                roll_counter_addr: (layout::COUNTER_BASE
-                    .wrapping_add(total_partial_products * 4)) as u32,
+                roll_counter_addr: (layout::COUNTER_BASE.wrapping_add(total_partial_products * 4))
+                    as u32,
                 work: instr_work_placeholder(),
             };
             // `instr_work_placeholder` keeps construction order readable; fill now.

@@ -48,7 +48,12 @@ pub struct Dispatcher {
 
 impl Dispatcher {
     /// Creates a dispatcher over a compiled program for `cores` NeuraCores.
-    pub fn new(program: &Program, cores: usize, policy: DispatchPolicy, dispatch_width: usize) -> Self {
+    pub fn new(
+        program: &Program,
+        cores: usize,
+        policy: DispatchPolicy,
+        dispatch_width: usize,
+    ) -> Self {
         Dispatcher {
             instructions: program.instructions.clone(),
             row_boundaries: program.row_boundaries.clone(),

@@ -42,7 +42,12 @@ pub struct GcnRun {
 
 /// Estimates the cycles the combination GEMM takes on the given configuration:
 /// the maximum of its compute-bound and memory-bound times (roofline).
-pub fn combination_cycles(config: &ChipConfig, rows: usize, in_features: usize, out_features: usize) -> u64 {
+pub fn combination_cycles(
+    config: &ChipConfig,
+    rows: usize,
+    in_features: usize,
+    out_features: usize,
+) -> u64 {
     let flops = 2.0 * rows as f64 * in_features as f64 * out_features as f64;
     let peak_flops_per_cycle = config.peak_gflops() / config.frequency_ghz; // flops per cycle
     let compute_cycles = flops / peak_flops_per_cycle.max(1.0);
@@ -75,10 +80,7 @@ pub fn run_gcn_layer(
         }));
     }
     let aggregation = accelerator.run_aggregation(adjacency, features)?;
-    let mut combined = aggregation
-        .aggregated
-        .matmul(weights)
-        .map_err(ChipError::Shape)?;
+    let mut combined = aggregation.aggregated.matmul(weights).map_err(ChipError::Shape)?;
     combined.relu();
 
     let config = accelerator.config().clone();

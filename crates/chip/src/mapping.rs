@@ -245,10 +245,7 @@ impl ComputeMapping for DrhmMapping {
 /// `rows[i]` lists the tags generated while computing input row `i`; the row
 /// index is what drives DRHM's seed selection.  The returned vector has one
 /// entry per unit and is the data behind Figures 12/13.
-pub fn workload_histogram(
-    mapping: &mut dyn ComputeMapping,
-    rows: &[Vec<u64>],
-) -> Vec<u64> {
+pub fn workload_histogram(mapping: &mut dyn ComputeMapping, rows: &[Vec<u64>]) -> Vec<u64> {
     let mut histogram = vec![0u64; mapping.units()];
     for (row_idx, row) in rows.iter().enumerate() {
         for &tag in row {

@@ -104,7 +104,8 @@ pub struct NeuraCore {
 impl NeuraCore {
     /// Creates a NeuraCore belonging to tile `tile`.
     pub fn new(id: usize, tile: usize, config: NeuraCoreConfig) -> Self {
-        let pipelines = (0..config.pipelines).map(|_| Pipeline { state: PipelineState::Idle }).collect();
+        let pipelines =
+            (0..config.pipelines).map(|_| Pipeline { state: PipelineState::Idle }).collect();
         NeuraCore {
             id,
             tile,
@@ -148,11 +149,7 @@ impl NeuraCore {
     /// Number of instructions waiting plus executing (dispatcher load metric).
     pub fn load(&self) -> usize {
         self.instx.len()
-            + self
-                .pipelines
-                .iter()
-                .filter(|p| !matches!(p.state, PipelineState::Idle))
-                .count()
+            + self.pipelines.iter().filter(|p| !matches!(p.state, PipelineState::Idle)).count()
     }
 
     /// Accepts an MMH instruction from the dispatcher.
@@ -263,8 +260,7 @@ impl NeuraCore {
                             },
                         );
                         let started = *started;
-                        pipeline.state =
-                            PipelineState::WaitMem { instr, outstanding: 4, started };
+                        pipeline.state = PipelineState::WaitMem { instr, outstanding: 4, started };
                     }
                 }
                 PipelineState::WaitMem { instr, outstanding, started } => {
@@ -383,7 +379,11 @@ mod tests {
 
     /// Drives the core until idle, acknowledging all memory requests after
     /// `mem_latency` cycles.  Returns all generated HACCs.
-    fn run_to_completion(core: &mut NeuraCore, mem_latency: u64, max_cycles: u64) -> Vec<HaccInstruction> {
+    fn run_to_completion(
+        core: &mut NeuraCore,
+        mem_latency: u64,
+        max_cycles: u64,
+    ) -> Vec<HaccInstruction> {
         let mut haccs = Vec::new();
         let mut pending: Vec<(u64, usize)> = Vec::new(); // (ready_cycle, pipeline)
         for c in 0..max_cycles {

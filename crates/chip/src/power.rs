@@ -155,8 +155,8 @@ impl PowerModel {
             power_w: unit.power_w * count * (1.0 + self.static_fraction),
         };
         // The NeuraMem cost scales with HashPad capacity as well as unit count.
-        let pad_scale = config.mem.hashpad_bytes() as f64
-            / ChipConfig::tile_16().mem.hashpad_bytes() as f64;
+        let pad_scale =
+            config.mem.hashpad_bytes() as f64 / ChipConfig::tile_16().mem.hashpad_bytes() as f64;
         let mem_count = config.total_mems() as f64 * pad_scale.max(0.25);
         PowerAreaBreakdown {
             neuracore: scale(self.core_unit, config.total_cores() as f64),

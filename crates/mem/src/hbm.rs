@@ -31,7 +31,9 @@ impl HbmStack {
     /// Builds a stack with one controller per channel.
     pub fn new(config: HbmConfig) -> Self {
         let controllers = (0..config.channels)
-            .map(|tile| MemoryController::new(tile, config.timing, config.controller_queue_capacity))
+            .map(|tile| {
+                MemoryController::new(tile, config.timing, config.controller_queue_capacity)
+            })
             .collect();
         HbmStack { controllers, config }
     }
@@ -114,7 +116,8 @@ mod tests {
 
     #[test]
     fn dual_stack_has_double_bandwidth() {
-        let dual = HbmStack::new(HbmConfig { timing: HbmTiming::hbm2_dual_stack(), ..Default::default() });
+        let dual =
+            HbmStack::new(HbmConfig { timing: HbmTiming::hbm2_dual_stack(), ..Default::default() });
         assert!((dual.peak_bandwidth_gbps(1.0) - 256.0).abs() < 1e-9);
     }
 }

@@ -216,10 +216,8 @@ mod tests {
     fn all_to_one_traffic_is_fully_delivered() {
         let topo = TorusTopology::new(4, 4);
         let mut net = TorusNetwork::new(topo, 16);
-        let mut id = 0;
-        for src in 0..topo.nodes() {
-            net.inject(Packet::new(id, src, 5, 16), Cycle(0)).unwrap();
-            id += 1;
+        for (id, src) in (0..topo.nodes()).enumerate() {
+            net.inject(Packet::new(id as u64, src, 5, 16), Cycle(0)).unwrap();
         }
         let delivered = drive_until_empty(&mut net, 500);
         assert_eq!(delivered.len(), topo.nodes());

@@ -35,10 +35,7 @@ impl Cycle {
     ///
     /// Panics if `frequency_hz` is not finite and positive.
     pub fn to_seconds(self, frequency_hz: f64) -> f64 {
-        assert!(
-            frequency_hz.is_finite() && frequency_hz > 0.0,
-            "clock frequency must be positive"
-        );
+        assert!(frequency_hz.is_finite() && frequency_hz > 0.0, "clock frequency must be positive");
         self.0 as f64 / frequency_hz
     }
 

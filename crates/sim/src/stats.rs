@@ -69,14 +69,7 @@ impl Histogram {
     pub fn new(bin_width: u64, bin_count: usize) -> Self {
         assert!(bin_width > 0, "bin width must be positive");
         assert!(bin_count > 0, "bin count must be positive");
-        Histogram {
-            bin_width,
-            bins: vec![0; bin_count],
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
+        Histogram { bin_width, bins: vec![0; bin_count], count: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 
     /// Records one sample.

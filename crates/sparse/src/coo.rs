@@ -104,7 +104,7 @@ impl CooMatrix {
 
     /// Sorts entries row-major and sums duplicate coordinates in place.
     pub fn dedup(&mut self) {
-        self.entries.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
         let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(self.entries.len());
         for &(r, c, v) in &self.entries {
             match merged.last_mut() {
@@ -137,7 +137,7 @@ impl CooMatrix {
         let mut sorted = self.clone();
         sorted.dedup();
         // Re-sort column-major.
-        sorted.entries.sort_unstable_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)));
+        sorted.entries.sort_unstable_by_key(|a| (a.1, a.0));
         let mut col_ptr = vec![0usize; self.cols + 1];
         for &(_, c, _) in &sorted.entries {
             col_ptr[c + 1] += 1;

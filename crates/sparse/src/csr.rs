@@ -299,8 +299,7 @@ mod tests {
 
     #[test]
     fn from_raw_parts_rejects_unsorted_columns() {
-        let err =
-            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+        let err = CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
         assert!(matches!(err, Err(SparseError::MalformedPointers { .. })));
     }
 

@@ -85,19 +85,18 @@ impl Dataset {
     fn generate_with_nodes(&self, nodes: usize, edges: usize, seed: u64) -> CooMatrix {
         let model = match self.class {
             StructureClass::ScaleFree => GraphModel::PowerLaw { edges, exponent: 2.1 },
-            StructureClass::Community => GraphModel::Rmat {
-                edges,
-                probabilities: (0.57, 0.19, 0.19),
-            },
-            StructureClass::Mesh => GraphModel::ErdosRenyi {
-                p: edges as f64 / (nodes as f64 * nodes as f64),
-            },
+            StructureClass::Community => {
+                GraphModel::Rmat { edges, probabilities: (0.57, 0.19, 0.19) }
+            }
+            StructureClass::Mesh => {
+                GraphModel::ErdosRenyi { p: edges as f64 / (nodes as f64 * nodes as f64) }
+            }
             StructureClass::Road => GraphModel::ErdosRenyi {
                 p: (edges as f64 / (nodes as f64 * nodes as f64)).min(1.0),
             },
-            StructureClass::Banded => GraphModel::Banded {
-                bandwidth: ((edges / nodes.max(1)) / 2).max(1),
-            },
+            StructureClass::Banded => {
+                GraphModel::Banded { bandwidth: ((edges / nodes.max(1)) / 2).max(1) }
+            }
         };
         GraphGenerator::with_model(nodes, model, seed).generate()
     }

@@ -166,12 +166,7 @@ impl DenseMatrix {
                 right: (other.rows, other.cols),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max))
+        Ok(self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max))
     }
 
     /// Converts the dense matrix to COO, dropping exact zeros.

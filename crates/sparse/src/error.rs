@@ -49,26 +49,21 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
-                f,
-                "entry ({row}, {col}) is outside the {rows}x{cols} matrix shape"
-            ),
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => {
+                write!(f, "entry ({row}, {col}) is outside the {rows}x{cols} matrix shape")
+            }
             SparseError::MalformedPointers { detail } => {
                 write!(f, "malformed pointer array: {detail}")
             }
-            SparseError::LengthMismatch { indices, values } => write!(
-                f,
-                "index array has {indices} elements but value array has {values}"
-            ),
-            SparseError::ShapeMismatch { left, right } => write!(
-                f,
-                "incompatible shapes {}x{} and {}x{}",
-                left.0, left.1, right.0, right.1
-            ),
-            SparseError::TooManyEdges { requested, capacity } => write!(
-                f,
-                "requested {requested} edges but the shape only supports {capacity}"
-            ),
+            SparseError::LengthMismatch { indices, values } => {
+                write!(f, "index array has {indices} elements but value array has {values}")
+            }
+            SparseError::ShapeMismatch { left, right } => {
+                write!(f, "incompatible shapes {}x{} and {}x{}", left.0, left.1, right.0, right.1)
+            }
+            SparseError::TooManyEdges { requested, capacity } => {
+                write!(f, "requested {requested} edges but the shape only supports {capacity}")
+            }
         }
     }
 }

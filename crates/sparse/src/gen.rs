@@ -208,7 +208,8 @@ impl GraphGenerator {
             let j = rng.gen_range(0..=i);
             perm.swap(i, j);
         }
-        let weights: Vec<f64> = (0..self.nodes).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+        let weights: Vec<f64> =
+            (0..self.nodes).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
         let cumulative: Vec<f64> = weights
             .iter()
             .scan(0.0, |acc, w| {

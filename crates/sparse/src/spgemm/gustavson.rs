@@ -91,13 +91,9 @@ mod tests {
     #[test]
     fn stats_count_partial_products() {
         // A = [1 1; 0 1], B = [1 1; 1 1]
-        let a = crate::CooMatrix::from_triplets(
-            2,
-            2,
-            vec![(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0)],
-        )
-        .unwrap()
-        .to_csr();
+        let a = crate::CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0)])
+            .unwrap()
+            .to_csr();
         let b = crate::CooMatrix::from_triplets(
             2,
             2,

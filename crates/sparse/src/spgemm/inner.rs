@@ -70,12 +70,8 @@ mod tests {
     #[test]
     fn keeps_structural_zeros_from_cancellation() {
         // a_i . b_j = 1*1 + 1*(-1) = 0: the entry is still structurally produced.
-        let a = CooMatrix::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)])
-            .unwrap()
-            .to_csr();
-        let b = CooMatrix::from_triplets(2, 1, vec![(0, 0, 1.0), (1, 0, -1.0)])
-            .unwrap()
-            .to_csr();
+        let a = CooMatrix::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]).unwrap().to_csr();
+        let b = CooMatrix::from_triplets(2, 1, vec![(0, 0, 1.0), (1, 0, -1.0)]).unwrap().to_csr();
         let c = inner_product(&a, &b);
         assert_eq!(c.nnz(), 1);
         assert_eq!(c.get(0, 0), 0.0);

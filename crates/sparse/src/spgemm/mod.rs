@@ -27,7 +27,7 @@ mod tiled;
 pub use gustavson::{gustavson, gustavson_with_stats};
 pub use inner::inner_product;
 pub use outer::{outer_product, outer_product_partial_products};
-pub use tiled::{tiled_gustavson, TiledTrace, TiledTask};
+pub use tiled::{tiled_gustavson, TiledTask, TiledTrace};
 
 use crate::CsrMatrix;
 use serde::{Deserialize, Serialize};

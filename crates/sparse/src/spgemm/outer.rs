@@ -37,9 +37,7 @@ pub fn outer_product(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
 pub fn outer_product_partial_products(a: &CsrMatrix, b: &CsrMatrix) -> u64 {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let a_csc = a.to_csc();
-    (0..a.cols())
-        .map(|k| a_csc.col_nnz(k) as u64 * b.row_nnz(k) as u64)
-        .sum()
+    (0..a.cols()).map(|k| a_csc.col_nnz(k) as u64 * b.row_nnz(k) as u64).sum()
 }
 
 #[cfg(test)]

@@ -24,8 +24,8 @@ pub fn spmm(a: &CsrMatrix, x: &DenseMatrix) -> Result<DenseMatrix> {
         let (cols, vals) = a.row(i);
         for (&k, &a_ik) in cols.iter().zip(vals.iter()) {
             let x_row = x.row(k);
-            for j in 0..x.cols() {
-                *out.get_mut(i, j) += a_ik * x_row[j];
+            for (j, &x_kj) in x_row.iter().enumerate() {
+                *out.get_mut(i, j) += a_ik * x_kj;
             }
         }
     }

@@ -51,7 +51,8 @@ fn summarize(degrees: &[usize]) -> DegreeStats {
     let min = *degrees.iter().min().expect("non-empty");
     let max = *degrees.iter().max().expect("non-empty");
     let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
-    let var = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / degrees.len() as f64;
+    let var =
+        degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / degrees.len() as f64;
     let std_dev = var.sqrt();
     DegreeStats {
         min,

@@ -15,11 +15,7 @@ fn main() {
     // A deliberately skewed graph: a few hub nodes own most of the edges,
     // which is exactly the pattern that breaks ring/modular hashing.
     let a = GraphGenerator::power_law(384, 3_500, 1.9, 13).generate().to_csr();
-    println!(
-        "workload: {} nodes, {} edges (power-law, heavily skewed)\n",
-        a.rows(),
-        a.nnz()
-    );
+    println!("workload: {} nodes, {} edges (power-law, heavily skewed)\n", a.rows(), a.nnz());
     println!(
         "{:<14} {:>10} {:>12} {:>10} {:>10} {:>12}",
         "mapping", "cycles", "max/mean", "CV", "Gini", "core util %"
@@ -39,7 +35,7 @@ fn main() {
             gini(&run.report.mem_work_histogram),
             run.report.core_utilization * 100.0,
         );
-        if best.map_or(true, |(_, cycles)| run.report.total_cycles < cycles) {
+        if best.is_none_or(|(_, cycles)| run.report.total_cycles < cycles) {
             best = Some((kind, run.report.total_cycles));
         }
     }

@@ -19,11 +19,7 @@ fn main() {
 
     // 3. Verify the accelerator's output against the reference kernel.
     let reference = spgemm::gustavson(&a, &a);
-    let diff = run
-        .product
-        .to_dense()
-        .max_abs_diff(&reference.to_dense())
-        .expect("shapes match");
+    let diff = run.product.to_dense().max_abs_diff(&reference.to_dense()).expect("shapes match");
     println!("output nnz            : {}", run.product.nnz());
     println!("max |simulated - ref| : {diff:.2e}");
     assert!(diff < 1e-9, "accelerator output must match the reference");

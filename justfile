@@ -1,0 +1,33 @@
+# Local mirror of .github/workflows/ci.yml — `just ci` before pushing.
+
+# Run everything CI runs.
+ci: fmt clippy build test
+
+# Formatting check (apply with `just fmt-fix`).
+fmt:
+    cargo fmt --check
+
+fmt-fix:
+    cargo fmt
+
+# Lints, warnings are errors.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Release build of every crate and binary.
+build:
+    cargo build --release
+
+# Unit, integration, doc and bin-smoke tests.
+test:
+    cargo test -q
+
+# Regenerate every paper artifact at full (scaled) size.
+artifacts:
+    for bin in table1 table3 table4 table5 fig11 fig13 fig14 fig15 fig16 fig17 ablation; do \
+        cargo run --release -q -p neura_bench --bin $bin; \
+    done
+
+# Criterion micro-benchmarks (stubbed offline: single-pass wall-clock timing).
+bench:
+    cargo bench -p neura_bench

@@ -1,0 +1,190 @@
+//! Offline stub of the `criterion` benchmarking crate.
+//!
+//! Implements the subset of the API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`criterion_group!`] and
+//! [`criterion_main!`] — with plain wall-clock timing and no statistics.
+//! When invoked by `cargo test` (which runs `harness = false` bench targets
+//! as smoke tests) each benchmark body executes once; under `cargo bench` a
+//! small fixed sample is timed and the mean is printed.  Swap the
+//! `vendor/criterion` path dependency for the real crate when network access
+//! is available.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How many timed iterations to run per benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo test` smoke run: execute each body once, report pass/fail.
+    Smoke,
+    /// `cargo bench`: time a small fixed sample and print the mean.
+    Measure,
+}
+
+fn detect_mode() -> Mode {
+    // Cargo invokes `harness = false` bench targets with `--bench` under
+    // `cargo bench`; under `cargo test` they run with `--test`-style args or
+    // none at all.  Default to the cheap smoke mode.
+    if std::env::args().any(|a| a == "--bench") {
+        Mode::Measure
+    } else {
+        Mode::Smoke
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { mode: detect_mode() }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        let mode = self.mode;
+        BenchmarkGroup { _criterion: self, name, mode, samples: 10 }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut bencher =
+            Bencher { mode: self.mode, samples: 10, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        bencher.report(&id.into());
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    mode: Mode,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (cap honoured only under `cargo bench`).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher =
+            Bencher { mode: self.mode, samples: self.samples, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher =
+            Bencher { mode: self.mode, samples: self.samples, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.into()));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, once in smoke mode or `samples` times under `cargo bench`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let iters = match self.mode {
+            Mode::Smoke => 1,
+            Mode::Measure => self.samples as u64,
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("  {id}: no iterations");
+        } else {
+            let mean = self.elapsed / self.iters as u32;
+            println!("  {id}: {mean:?}/iter over {} iter(s)", self.iters);
+        }
+    }
+}
+
+/// Collects benchmark functions into a single runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

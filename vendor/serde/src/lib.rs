@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! Exposes just enough surface for `use serde::{Deserialize, Serialize}`
+//! plus `#[derive(Serialize, Deserialize)]` to compile: the two marker
+//! traits and the (no-op) derive macros.  No data format integrates with
+//! this stub; replace the `vendor/serde` path dependency with the real
+//! crates.io `serde` when network access is available.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
