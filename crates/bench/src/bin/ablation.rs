@@ -1,96 +1,138 @@
 //! Design-space ablations called out in DESIGN.md: compute mapping, eviction
 //! policy, MMH tile height and HashPad size, all on the Cora-analog SpGEMM.
 //!
-//! Run with `cargo run --release -p neura_bench --bin ablation`.
+//! The four ablations are declared as `neura_lab` experiment specs and their
+//! points — fourteen full cycle-level simulations — run concurrently on the
+//! lab's work-stealing runner. Run with
+//! `cargo run --release -p neura_bench --bin ablation` (add `--json [path]`
+//! for a machine-readable artifact).
 
-use neura_bench::{fmt, print_table, scaled_matrix};
-use neura_chip::accelerator::Accelerator;
+use neura_bench::{fmt, print_table, scaled_matrix_by_name};
+use neura_chip::accelerator::{Accelerator, ExecutionReport};
 use neura_chip::config::{ChipConfig, EvictionPolicy};
 use neura_chip::mapping::MappingKind;
+use neura_lab::{ArtifactSession, ExperimentSpec, Runner, SweepGrid, SweepPoint};
 use neura_sparse::stats::imbalance;
-use neura_sparse::DatasetCatalog;
 
 fn main() {
-    let cora = DatasetCatalog::by_name("cora").expect("cora exists");
-    let a = scaled_matrix(&cora, 4);
+    let mut session = ArtifactSession::from_args("ablation", neura_bench::scale_multiplier());
+    let a = scaled_matrix_by_name("cora", 4);
 
-    // (1) Mapping ablation.
-    let mut rows = Vec::new();
-    for kind in MappingKind::ALL {
-        let mut chip = Accelerator::new(ChipConfig::tile_16().with_mapping(kind));
-        let run = chip.run_spgemm(&a, &a).expect("simulation drains");
-        let (max_over_mean, cv) = imbalance(&run.report.mem_work_histogram);
-        rows.push(vec![
-            kind.name().to_string(),
-            run.report.total_cycles.to_string(),
-            fmt(max_over_mean, 3),
-            fmt(cv, 3),
-            fmt(run.report.core_utilization * 100.0, 1),
-        ]);
+    let base = ChipConfig::tile_16();
+    let specs = [
+        ExperimentSpec::new(
+            "ablation/mapping",
+            base.clone(),
+            SweepGrid::new().datasets(["cora"]).mappings(MappingKind::ALL),
+        ),
+        ExperimentSpec::new(
+            "ablation/eviction",
+            base.clone(),
+            SweepGrid::new()
+                .datasets(["cora"])
+                .evictions([EvictionPolicy::Rolling, EvictionPolicy::Barrier]),
+        ),
+        ExperimentSpec::new(
+            "ablation/mmh-tile",
+            base.clone(),
+            SweepGrid::new().datasets(["cora"]).mmh_tiles([1, 2, 4, 8]),
+        ),
+        ExperimentSpec::new(
+            "ablation/hashpad",
+            base,
+            SweepGrid::new().datasets(["cora"]).hashlines([256, 1024, 2048, 8192]),
+        ),
+    ];
+
+    // One flat point list across all four ablations: the runner interleaves
+    // the fourteen simulations instead of draining each group serially.
+    let points: Vec<SweepPoint> = specs.iter().flat_map(ExperimentSpec::points).collect();
+    let runner = Runner::from_env();
+    let reports: Vec<ExecutionReport> = runner.run(&points, |_, point| {
+        let mut chip = Accelerator::new(point.config.clone());
+        chip.run_spgemm(&a, &a).expect("simulation drains").report
+    });
+    for (point, report) in points.iter().zip(&reports) {
+        let mut record = neura_lab::RunRecord::new(&point.id).with_execution(report);
+        record.params = point.params();
+        session.push(record);
     }
+
+    let group = |prefix: &str| -> Vec<(&SweepPoint, &ExecutionReport)> {
+        points.iter().zip(&reports).filter(|(p, _)| p.id.starts_with(prefix)).collect()
+    };
+
+    let rows: Vec<Vec<String>> = group("ablation/mapping/")
+        .iter()
+        .map(|(point, report)| {
+            let (max_over_mean, cv) = imbalance(&report.mem_work_histogram);
+            vec![
+                point.config.mapping.name().to_string(),
+                report.total_cycles.to_string(),
+                fmt(max_over_mean, 3),
+                fmt(cv, 3),
+                fmt(report.core_utilization * 100.0, 1),
+            ]
+        })
+        .collect();
     print_table(
         "Ablation A: compute mapping (Tile-16, Cora analog)",
         &["Mapping", "Cycles", "NeuraMem max/mean", "NeuraMem CV", "Core util %"],
         &rows,
     );
 
-    // (2) Eviction-policy ablation.
-    let mut rows = Vec::new();
-    for (name, policy) in
-        [("rolling", EvictionPolicy::Rolling), ("barrier", EvictionPolicy::Barrier)]
-    {
-        let mut chip = Accelerator::new(ChipConfig::tile_16().with_eviction(policy));
-        let run = chip.run_spgemm(&a, &a).expect("simulation drains");
-        rows.push(vec![
-            name.to_string(),
-            run.report.total_cycles.to_string(),
-            run.report.peak_hashpad_occupancy.to_string(),
-            run.report.hashpad_full_stalls.to_string(),
-            fmt(run.report.hacc_latency_histogram.mean(), 0),
-        ]);
-    }
+    let rows: Vec<Vec<String>> = group("ablation/eviction/")
+        .iter()
+        .map(|(point, report)| {
+            vec![
+                neura_lab::spec::eviction_name(point.config.eviction).to_string(),
+                report.total_cycles.to_string(),
+                report.peak_hashpad_occupancy.to_string(),
+                report.hashpad_full_stalls.to_string(),
+                fmt(report.hacc_latency_histogram.mean(), 0),
+            ]
+        })
+        .collect();
     print_table(
         "Ablation B: eviction policy (Tile-16, Cora analog)",
         &["Eviction", "Cycles", "Peak pad occupancy", "Pad-full stalls", "Avg HACC latency"],
         &rows,
     );
 
-    // (3) MMH tile-height ablation.
-    let mut rows = Vec::new();
-    for tile in [1u8, 2, 4, 8] {
-        let mut chip = Accelerator::new(ChipConfig::tile_16().with_mmh_tile(tile));
-        let run = chip.run_spgemm(&a, &a).expect("simulation drains");
-        rows.push(vec![
-            format!("MMH{tile}"),
-            run.report.mmh_instructions.to_string(),
-            fmt(run.report.cpi, 0),
-            run.report.total_cycles.to_string(),
-            fmt(run.report.gops, 2),
-        ]);
-    }
+    let rows: Vec<Vec<String>> = group("ablation/mmh-tile/")
+        .iter()
+        .map(|(point, report)| {
+            vec![
+                format!("MMH{}", point.config.mmh_tile),
+                report.mmh_instructions.to_string(),
+                fmt(report.cpi, 0),
+                report.total_cycles.to_string(),
+                fmt(report.gops, 2),
+            ]
+        })
+        .collect();
     print_table(
         "Ablation C: MMH tile height (Tile-16, Cora analog)",
         &["Variant", "MMH instructions", "Avg CPI", "Cycles", "GOP/s"],
         &rows,
     );
 
-    // (4) HashPad size ablation.
-    let mut rows = Vec::new();
-    for hashlines in [256usize, 1024, 2048, 8192] {
-        let mut config = ChipConfig::tile_16();
-        config.mem.hashlines = hashlines;
-        let mut chip = Accelerator::new(config);
-        let run = chip.run_spgemm(&a, &a).expect("simulation drains");
-        rows.push(vec![
-            hashlines.to_string(),
-            run.report.total_cycles.to_string(),
-            run.report.hashpad_full_stalls.to_string(),
-            run.report.peak_hashpad_occupancy.to_string(),
-        ]);
-    }
+    let rows: Vec<Vec<String>> = group("ablation/hashpad/")
+        .iter()
+        .map(|(point, report)| {
+            vec![
+                point.config.mem.hashlines.to_string(),
+                report.total_cycles.to_string(),
+                report.hashpad_full_stalls.to_string(),
+                report.peak_hashpad_occupancy.to_string(),
+            ]
+        })
+        .collect();
     print_table(
         "Ablation D: HashPad size (hash-lines per NeuraMem)",
         &["Hashlines", "Cycles", "Pad-full stalls", "Peak occupancy"],
         &rows,
     );
+
+    session.finish();
 }

@@ -1,21 +1,33 @@
 //! Figure 11 — architectural impact of the tile configuration on a GCN
 //! (Cora) workload, normalised to Tile-4.
 //!
-//! Run with `cargo run --release -p neura_bench --bin fig11`.
+//! The three tile sizes are a `neura_lab` sweep executed in parallel. Run
+//! with `cargo run --release -p neura_bench --bin fig11` (add `--json
+//! [path]` for a machine-readable artifact).
 
-use neura_bench::{fmt, print_table, scaled_matrix};
+use neura_bench::{fmt, print_table, scaled_matrix_by_name};
 use neura_chip::accelerator::Accelerator;
 use neura_chip::config::{ChipConfig, TileSize};
 use neura_chip::power::PowerModel;
+use neura_lab::{ArtifactSession, ExperimentSpec, RunRecord, Runner, SweepGrid};
 use neura_sparse::gen::feature_matrix;
-use neura_sparse::DatasetCatalog;
 
 fn main() {
-    let cora = DatasetCatalog::by_name("cora").expect("cora exists");
-    let mut a = scaled_matrix(&cora, 4);
+    let mut session = ArtifactSession::from_args("fig11", neura_bench::scale_multiplier());
+    let mut a = scaled_matrix_by_name("cora", 4);
     a.row_normalize();
     let x = feature_matrix(a.cols(), 16, 3);
     let power_model = PowerModel::calibrated();
+
+    let spec = ExperimentSpec::new(
+        "fig11",
+        ChipConfig::tile_16(),
+        SweepGrid::new().datasets(["cora"]).tile_sizes(TileSize::ALL),
+    );
+    let results = Runner::from_env().run_spec(&spec, |point| {
+        let mut chip = Accelerator::new(point.config.clone());
+        chip.run_aggregation(&a, &x).expect("simulation drains").report
+    });
 
     struct Sample {
         tile: &'static str,
@@ -28,20 +40,25 @@ fn main() {
     }
 
     let mut samples = Vec::new();
-    for tile in TileSize::ALL {
-        let config = ChipConfig::for_tile_size(tile);
-        let power = power_model.breakdown(&config).total_power_w();
-        let mut chip = Accelerator::new(config);
-        let run = chip.run_aggregation(&a, &x).expect("simulation drains");
+    for (point, report) in &results {
+        let power = power_model.breakdown(&point.config).total_power_w();
         samples.push(Sample {
-            tile: tile.name(),
-            stall: run.report.core_stall_cycles as f64,
-            cpi: run.report.cpi,
-            ipc: run.report.ipc,
-            in_flight: run.report.avg_in_flight_mem,
+            tile: point.config.tile_size.name(),
+            stall: report.core_stall_cycles as f64,
+            cpi: report.cpi,
+            ipc: report.ipc,
+            in_flight: report.avg_in_flight_mem,
             power,
-            busy: run.report.core_busy_cycles as f64,
+            busy: report.core_busy_cycles as f64,
         });
+        let mut record = RunRecord::new(&point.id)
+            .unit_metric("power_w", power, "W")
+            .metric("core_stall_cycles", report.core_stall_cycles as f64)
+            .metric("core_busy_cycles", report.core_busy_cycles as f64)
+            .metric("avg_in_flight_mem", report.avg_in_flight_mem)
+            .with_execution(report);
+        record.params = point.params();
+        session.push(record);
     }
 
     let base = &samples[0];
@@ -69,4 +86,6 @@ fn main() {
          instructions and power; CPI rises once DRAM cannot keep up; IPC improves\n\
          from Tile-4 to Tile-16 but saturates at Tile-64 under the 128 GB/s ceiling."
     );
+
+    session.finish();
 }

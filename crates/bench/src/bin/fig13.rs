@@ -3,12 +3,17 @@
 //!
 //! For each (dataset, mapping) pair the harness maps every partial-product
 //! tag of the SpGEMM onto the 32 NeuraMems of the Tile-16 configuration and
-//! reports the per-unit workload distribution (max/mean ratio, coefficient of
-//! variation and Gini coefficient).  Run with
-//! `cargo run --release -p neura_bench --bin fig13`.
+//! reports the per-unit workload distribution (max/mean ratio, coefficient
+//! of variation and Gini coefficient). The (dataset × mapping) sweep is a
+//! `neura_lab` experiment: matrices and tag groups are prepared once per
+//! dataset on the parallel runner, then the 24 sweep points fan out over it.
+//! Run with `cargo run --release -p neura_bench --bin fig13` (add `--json
+//! [path]` for a machine-readable artifact).
 
-use neura_bench::{fmt, print_table, scaled_matrix};
+use neura_bench::{fmt, print_table, scaled_matrix_by_name};
+use neura_chip::config::ChipConfig;
 use neura_chip::mapping::{workload_histogram, MappingKind};
+use neura_lab::{ArtifactSession, ExperimentSpec, RunRecord, Runner, SweepGrid};
 use neura_sparse::gen::GraphGenerator;
 use neura_sparse::stats::{gini, imbalance};
 use neura_sparse::{CsrMatrix, DatasetCatalog};
@@ -36,29 +41,60 @@ fn tag_rows(a: &CsrMatrix) -> Vec<Vec<u64>> {
 }
 
 fn main() {
-    let mut matrices: Vec<(String, CsrMatrix)> = DatasetCatalog::heatmap_suite()
-        .iter()
-        .map(|d| (d.name.to_string(), scaled_matrix(d, 64)))
-        .collect();
-    matrices.push(("dense-256".to_string(), GraphGenerator::dense(256, 9).generate().to_csr()));
+    let mut session = ArtifactSession::from_args("fig13", neura_bench::scale_multiplier());
+    let runner = Runner::from_env();
+
+    let mut names: Vec<String> =
+        DatasetCatalog::heatmap_suite().iter().map(|d| d.name.to_string()).collect();
+    names.push("dense-256".to_string());
+
+    // Phase 1: per-dataset preparation (matrix generation + tag grouping),
+    // parallel over datasets.
+    let tag_groups: Vec<Vec<Vec<u64>>> = runner.run(&names, |_, name| {
+        let matrix = if name == "dense-256" {
+            GraphGenerator::dense(256, 9).generate().to_csr()
+        } else {
+            scaled_matrix_by_name(name, 64)
+        };
+        tag_rows(&matrix)
+    });
+
+    // Phase 2: the (dataset × mapping) sweep over the prepared tag groups.
+    let spec = ExperimentSpec::new(
+        "fig13",
+        ChipConfig::tile_16(),
+        SweepGrid::new().datasets(names.iter().cloned()).mappings(MappingKind::ALL),
+    );
+    let results = runner.run_spec(&spec, |point| {
+        let dataset = point.dataset.as_deref().expect("grid has a dataset axis");
+        let index = names.iter().position(|n| n == dataset).expect("dataset prepared");
+        let mut mapper = point.config.mapping.build(UNITS, point.config.seed);
+        let histogram = workload_histogram(mapper.as_mut(), &tag_groups[index]);
+        let (max_over_mean, cv) = imbalance(&histogram);
+        let max_work = histogram.iter().max().copied().unwrap_or(0);
+        let mean_work = histogram.iter().sum::<u64>() as f64 / UNITS as f64;
+        (max_over_mean, cv, gini(&histogram), max_work, mean_work)
+    });
 
     let mut rows = Vec::new();
-    for (name, matrix) in &matrices {
-        let tag_groups = tag_rows(matrix);
-        for kind in MappingKind::ALL {
-            let mut mapper = kind.build(UNITS, 0x1313);
-            let histogram = workload_histogram(mapper.as_mut(), &tag_groups);
-            let (max_over_mean, cv) = imbalance(&histogram);
-            rows.push(vec![
-                name.clone(),
-                kind.name().to_string(),
-                fmt(max_over_mean, 3),
-                fmt(cv, 3),
-                fmt(gini(&histogram), 3),
-                histogram.iter().max().copied().unwrap_or(0).to_string(),
-                fmt(histogram.iter().sum::<u64>() as f64 / UNITS as f64, 1),
-            ]);
-        }
+    for (point, (max_over_mean, cv, gini_coeff, max_work, mean_work)) in &results {
+        rows.push(vec![
+            point.dataset.clone().expect("dataset axis"),
+            point.config.mapping.name().to_string(),
+            fmt(*max_over_mean, 3),
+            fmt(*cv, 3),
+            fmt(*gini_coeff, 3),
+            max_work.to_string(),
+            fmt(*mean_work, 1),
+        ]);
+        let mut record = RunRecord::new(&point.id)
+            .metric("max_over_mean", *max_over_mean)
+            .metric("cv", *cv)
+            .metric("gini", *gini_coeff)
+            .metric("max_work", *max_work as f64)
+            .metric("mean_work", *mean_work);
+        record.params = point.params();
+        session.push(record);
     }
     print_table(
         "Figures 12/13: per-NeuraMem workload distribution under each compute mapping",
@@ -70,4 +106,6 @@ fn main() {
          (high max/mean), the random table and DRHM are flat, and DRHM stays flat\n\
          even for the dense matrix."
     );
+
+    session.finish();
 }

@@ -1,31 +1,49 @@
 //! Figure 14 — CPI histograms of the MMH1/2/4/8 instruction variants.
 //!
 //! Runs the same Cora-analog SpGEMM on the Tile-16 configuration with each
-//! MMH tile height and prints the per-instruction cycle-count histogram
-//! (percentage of instructions per 25-cycle bin) plus the average.
-//! Run with `cargo run --release -p neura_bench --bin fig14`.
+//! MMH tile height — a four-point `neura_lab` sweep executed in parallel —
+//! and prints the per-instruction cycle-count histogram (percentage of
+//! instructions per 25-cycle bin) plus the average. Run with
+//! `cargo run --release -p neura_bench --bin fig14` (add `--json [path]`
+//! for a machine-readable artifact).
 
-use neura_bench::{fmt, print_table, scaled_matrix};
+use neura_bench::{fmt, print_table, scaled_matrix_by_name};
 use neura_chip::accelerator::Accelerator;
 use neura_chip::config::ChipConfig;
-use neura_sparse::DatasetCatalog;
+use neura_lab::golden::slugify;
+use neura_lab::{ArtifactSession, ExperimentSpec, RunRecord, Runner, SweepGrid};
 
 fn main() {
-    let cora = DatasetCatalog::by_name("cora").expect("cora exists");
-    let a = scaled_matrix(&cora, 4);
+    let mut session = ArtifactSession::from_args("fig14", neura_bench::scale_multiplier());
+    let a = scaled_matrix_by_name("cora", 4);
+
+    let spec = ExperimentSpec::new(
+        "fig14",
+        ChipConfig::tile_16(),
+        SweepGrid::new().datasets(["cora"]).mmh_tiles([1, 2, 4, 8]),
+    );
+    let results = Runner::from_env().run_spec(&spec, |point| {
+        let mut chip = Accelerator::new(point.config.clone());
+        chip.run_spgemm(&a, &a).expect("simulation drains").report
+    });
 
     let mut rows = Vec::new();
     let mut labels: Vec<String> = Vec::new();
-    for tile in [1u8, 2, 4, 8] {
-        let mut chip = Accelerator::new(ChipConfig::tile_16().with_mmh_tile(tile));
-        let run = chip.run_spgemm(&a, &a).expect("simulation drains");
-        let hist = &run.report.mmh_cpi_histogram;
+    for (point, report) in &results {
+        let hist = &report.mmh_cpi_histogram;
         if labels.is_empty() {
             labels = hist.bin_labels();
         }
-        let mut row = vec![format!("MMH{tile}"), fmt(hist.mean(), 0)];
+        let mut row = vec![format!("MMH{}", point.config.mmh_tile), fmt(hist.mean(), 0)];
         row.extend(hist.percentages().iter().map(|p| fmt(*p, 1)));
         rows.push(row);
+
+        let mut record = RunRecord::new(&point.id).with_execution(report);
+        for (label, pct) in labels.iter().zip(hist.percentages()) {
+            record = record.unit_metric(format!("cpi_bin_{}", slugify(label)), pct, "%");
+        }
+        record.params = point.params();
+        session.push(record);
     }
 
     let mut headers = vec!["Instruction".to_string(), "Avg CPI".to_string()];
@@ -40,4 +58,6 @@ fn main() {
         "\nPaper averages: MMH1 91, MMH2 123, MMH4 295, MMH8 877 cycles — larger tiles\n\
          trade higher per-instruction latency for fewer instructions; MMH4 balances the two."
     );
+
+    session.finish();
 }

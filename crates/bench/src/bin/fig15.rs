@@ -1,43 +1,64 @@
 //! Figure 15 — HACC completion-latency histogram: barrier-based eviction
 //! (HACC-BE) versus rolling eviction (HACC-RE).
 //!
-//! Run with `cargo run --release -p neura_bench --bin fig15`.
+//! The two eviction policies are a `neura_lab` sweep executed in parallel.
+//! Run with `cargo run --release -p neura_bench --bin fig15` (add `--json
+//! [path]` for a machine-readable artifact).
 
-use neura_bench::{fmt, print_table, scaled_matrix};
+use neura_bench::{fmt, print_table, scaled_matrix_by_name};
 use neura_chip::accelerator::Accelerator;
 use neura_chip::config::{ChipConfig, EvictionPolicy};
-use neura_sparse::DatasetCatalog;
+use neura_lab::golden::slugify;
+use neura_lab::{ArtifactSession, ExperimentSpec, RunRecord, Runner, SweepGrid};
 
 fn main() {
-    let cora = DatasetCatalog::by_name("cora").expect("cora exists");
-    let a = scaled_matrix(&cora, 4);
+    let mut session = ArtifactSession::from_args("fig15", neura_bench::scale_multiplier());
+    let a = scaled_matrix_by_name("cora", 4);
+
+    // The HashPad is scaled down with the dataset (the full 2048-line pad of
+    // Tile-16 would never fill on a 512x-scaled graph, hiding the pressure
+    // the paper's full-size runs exhibit).
+    let mut base = ChipConfig::tile_16();
+    base.mem.hashlines = 256;
+    let spec = ExperimentSpec::new(
+        "fig15",
+        base,
+        SweepGrid::new()
+            .datasets(["cora"])
+            .evictions([EvictionPolicy::Barrier, EvictionPolicy::Rolling]),
+    );
+    let results = Runner::from_env().run_spec(&spec, |point| {
+        let mut chip = Accelerator::new(point.config.clone());
+        chip.run_spgemm(&a, &a).expect("simulation drains").report
+    });
 
     let mut rows = Vec::new();
     let mut labels: Vec<String> = Vec::new();
-    for (name, policy) in [
-        ("HACC-BE (barrier)", EvictionPolicy::Barrier),
-        ("HACC-RE (rolling)", EvictionPolicy::Rolling),
-    ] {
-        // The HashPad is scaled down with the dataset (the full 2048-line pad
-        // of Tile-16 would never fill on a 512x-scaled graph, hiding the
-        // pressure the paper's full-size runs exhibit).
-        let mut config = ChipConfig::tile_16().with_eviction(policy);
-        config.mem.hashlines = 256;
-        let mut chip = Accelerator::new(config);
-        let run = chip.run_spgemm(&a, &a).expect("simulation drains");
-        let hist = &run.report.hacc_latency_histogram;
+    for (point, report) in &results {
+        let hist = &report.hacc_latency_histogram;
         if labels.is_empty() {
             labels = hist.bin_labels();
         }
+        let name = match point.config.eviction {
+            EvictionPolicy::Barrier => "HACC-BE (barrier)",
+            EvictionPolicy::Rolling => "HACC-RE (rolling)",
+        };
         let mut row = vec![
             name.to_string(),
             fmt(hist.mean(), 0),
-            run.report.peak_hashpad_occupancy.to_string(),
-            run.report.hashpad_full_stalls.to_string(),
-            run.report.total_cycles.to_string(),
+            report.peak_hashpad_occupancy.to_string(),
+            report.hashpad_full_stalls.to_string(),
+            report.total_cycles.to_string(),
         ];
         row.extend(hist.percentages().iter().map(|p| fmt(*p, 1)));
         rows.push(row);
+
+        let mut record = RunRecord::new(&point.id).with_execution(report);
+        for (label, pct) in labels.iter().zip(hist.percentages()) {
+            record = record.unit_metric(format!("latency_bin_{}", slugify(label)), pct, "%");
+        }
+        record.params = point.params();
+        session.push(record);
     }
 
     let mut headers = vec![
@@ -58,4 +79,6 @@ fn main() {
         "\nPaper averages: HACC-BE 872 cycles vs HACC-RE 347 cycles — rolling eviction\n\
          keeps partial products resident for far fewer cycles and avoids pad-full stalls."
     );
+
+    session.finish();
 }

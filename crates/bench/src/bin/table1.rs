@@ -2,26 +2,47 @@
 //!
 //! Regenerates, for a synthetic analog of every Table-1 dataset, the bloat
 //! percent of the self-product `A × A` and prints it next to the paper's
-//! reported value.  Run with `cargo run --release -p neura_bench --bin table1`.
+//! reported value. The per-dataset analysis runs on the `neura_lab`
+//! parallel runner. Run with
+//! `cargo run --release -p neura_bench --bin table1` (add `--json [path]`
+//! for a machine-readable artifact).
 
 use neura_bench::{fmt, print_table, scaled_matrix, MODEL_SCALE};
+use neura_lab::{ArtifactSession, RunRecord, Runner};
 use neura_sparse::{bloat, DatasetCatalog};
 
 fn main() {
-    let mut rows = Vec::new();
-    for dataset in DatasetCatalog::spgemm_suite() {
-        let a = scaled_matrix(&dataset, MODEL_SCALE);
+    let mut session = ArtifactSession::from_args("table1", neura_bench::scale_multiplier());
+
+    let datasets = DatasetCatalog::spgemm_suite();
+    let analyses = Runner::from_env().run(&datasets, |_, dataset| {
+        let a = scaled_matrix(dataset, MODEL_SCALE);
         let report = bloat::analyze_square(&a);
+        (a.rows(), a.nnz(), report.bloat_percent)
+    });
+
+    let mut rows = Vec::new();
+    for (dataset, (sim_nodes, sim_edges, bloat_percent)) in datasets.iter().zip(&analyses) {
         rows.push(vec![
             dataset.name.to_string(),
             dataset.nodes.to_string(),
             dataset.edges.to_string(),
             fmt(dataset.sparsity_percent, 4),
-            a.rows().to_string(),
-            a.nnz().to_string(),
-            fmt(report.bloat_percent, 2),
+            sim_nodes.to_string(),
+            sim_edges.to_string(),
+            fmt(*bloat_percent, 2),
             dataset.paper_bloat_percent.map(|b| fmt(b, 2)).unwrap_or_else(|| "-".to_string()),
         ]);
+        let mut record = RunRecord::new(format!("table1/{}", dataset.name))
+            .param("dataset", dataset.name)
+            .metric("sim_nodes", *sim_nodes as f64)
+            .metric("sim_edges", *sim_edges as f64)
+            .unit_metric("bloat_percent", *bloat_percent, "%")
+            .unit_metric("sparsity_percent_paper", dataset.sparsity_percent, "%");
+        if let Some(paper) = dataset.paper_bloat_percent {
+            record = record.unit_metric("bloat_percent_paper", paper, "%");
+        }
+        session.push(record);
     }
     print_table(
         "Table 1: SpGEMM memory bloat (synthetic analogs, scaled)",
@@ -41,4 +62,6 @@ fn main() {
         "\nNote: analogs are scaled down by {MODEL_SCALE}x with average degree preserved; \
          the bloat ordering across datasets is the quantity being reproduced."
     );
+
+    session.finish();
 }

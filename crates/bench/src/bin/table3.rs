@@ -1,11 +1,14 @@
 //! Tables 2 and 3 — per-component and whole-chip configuration parameters.
 //!
-//! Run with `cargo run --release -p neura_bench --bin table3`.
+//! Run with `cargo run --release -p neura_bench --bin table3` (add `--json
+//! [path]` for a machine-readable artifact).
 
 use neura_bench::{fmt, print_table};
 use neura_chip::config::{ChipConfig, TileSize};
+use neura_lab::{ArtifactSession, RunRecord};
 
 fn main() {
+    let mut session = ArtifactSession::from_args("table3", neura_bench::scale_multiplier());
     let configs: Vec<ChipConfig> =
         TileSize::ALL.iter().map(|t| ChipConfig::for_tile_size(*t)).collect();
 
@@ -51,6 +54,38 @@ fn main() {
         &["Parameter", "Tile-4", "Tile-16", "Tile-64"],
         &chip_rows,
     );
+
+    for config in &configs {
+        session.push(
+            RunRecord::new(format!(
+                "table3/{}",
+                neura_lab::golden::slugify(config.tile_size.name())
+            ))
+            .param("tile", config.tile_size.name())
+            .metric("tiles", config.tiles as f64)
+            .metric("cores_per_tile", config.cores_per_tile as f64)
+            .metric("total_cores", config.total_cores() as f64)
+            .metric("total_mems", config.total_mems() as f64)
+            .metric("total_routers", config.total_routers() as f64)
+            .metric("total_pipelines", config.total_pipelines() as f64)
+            .metric("pipelines_per_core", config.core.pipelines as f64)
+            .metric("multipliers_per_core", config.core.multipliers as f64)
+            .metric("hash_engines_per_mem", config.mem.hash_engines as f64)
+            .metric("hashlines_per_mem", config.mem.hashlines as f64)
+            .metric(
+                "register_file_bits_per_pipeline",
+                config.register_file_bits_per_pipeline() as f64,
+            )
+            .metric("total_hash_engines", config.total_hash_engines() as f64)
+            .metric("total_comparators", config.total_comparators() as f64)
+            .unit_metric("total_hashpad_mb", config.total_hashpad_mb(), "MB")
+            .unit_metric("frequency_ghz", config.frequency_ghz, "GHz")
+            .unit_metric("peak_gflops", config.peak_gflops(), "GFLOP/s")
+            .unit_metric("hbm_bandwidth_gbps", config.peak_bandwidth_gbps(), "GB/s"),
+        );
+    }
+
+    session.finish();
 }
 
 fn row(label: &str, configs: &[ChipConfig], f: impl Fn(&ChipConfig) -> String) -> Vec<String> {

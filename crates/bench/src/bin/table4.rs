@@ -1,12 +1,17 @@
 //! Table 4 — NeuraChip power and area breakdown per component.
 //!
-//! Run with `cargo run --release -p neura_bench --bin table4`.
+//! Run with `cargo run --release -p neura_bench --bin table4` (add `--json
+//! [path]` for a machine-readable artifact).
 
 use neura_bench::{fmt, print_table};
 use neura_chip::config::TileSize;
 use neura_chip::power::table4_reference;
+use neura_lab::golden::slugify;
+use neura_lab::{ArtifactSession, RunRecord};
 
 fn main() {
+    let mut session = ArtifactSession::from_args("table4", neura_bench::scale_multiplier());
+
     let mut area_rows = Vec::new();
     let mut power_rows = Vec::new();
     for tile in TileSize::ALL {
@@ -27,6 +32,20 @@ fn main() {
             fmt(b.memory_controller.power_w, 2),
             fmt(b.total_power_w(), 2),
         ]);
+        session.push(
+            RunRecord::new(format!("table4/{}", slugify(tile.name())))
+                .param("tile", tile.name())
+                .unit_metric("neuracore_area_mm2", b.neuracore.area_mm2, "mm^2")
+                .unit_metric("neuramem_area_mm2", b.neuramem.area_mm2, "mm^2")
+                .unit_metric("router_area_mm2", b.router.area_mm2, "mm^2")
+                .unit_metric("mem_controller_area_mm2", b.memory_controller.area_mm2, "mm^2")
+                .unit_metric("total_area_mm2", b.total_area_mm2(), "mm^2")
+                .unit_metric("neuracore_power_w", b.neuracore.power_w, "W")
+                .unit_metric("neuramem_power_w", b.neuramem.power_w, "W")
+                .unit_metric("router_power_w", b.router.power_w, "W")
+                .unit_metric("mem_controller_power_w", b.memory_controller.power_w, "W")
+                .unit_metric("total_power_w", b.total_power_w(), "W"),
+        );
     }
     print_table(
         "Table 4a: Area breakdown (mm^2)",
@@ -38,4 +57,6 @@ fn main() {
         &["Config", "NeuraCore", "NeuraMem", "Router", "Mem Controller", "Total"],
         &power_rows,
     );
+
+    session.finish();
 }

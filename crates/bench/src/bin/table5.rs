@@ -2,20 +2,31 @@
 //!
 //! Prints the static platform specifications, the modeled SpGEMM throughput
 //! on the common matrix suite and the derived efficiency metrics, plus the
-//! Tile-16 speedup row.  Run with
-//! `cargo run --release -p neura_bench --bin table5`.
+//! Tile-16 speedup row. Workload profiles are built in parallel on the
+//! `neura_lab` runner and the NeuraChip throughput/speedup numbers are
+//! checked against the pinned golden values (strictly at paper scale,
+//! presence-only under `NEURA_BENCH_SCALE_MULT`). Run with
+//! `cargo run --release -p neura_bench --bin table5` (add `--json [path]`
+//! for a machine-readable artifact).
 
 use neura_baselines::spgemm::{geometric_mean, SpgemmModel, SpgemmPlatform};
 use neura_baselines::WorkloadProfile;
 use neura_bench::{fmt, print_table, scaled_matrix, MODEL_SCALE};
+use neura_lab::golden::{self, slugify};
+use neura_lab::{ArtifactSession, RunRecord, Runner};
 use neura_sparse::DatasetCatalog;
 
 fn main() {
-    // Modeled throughput over the common (Table 1) matrix suite.
-    let profiles: Vec<WorkloadProfile> = DatasetCatalog::spgemm_suite()
-        .iter()
-        .map(|d| WorkloadProfile::from_square(d.name, &scaled_matrix(d, MODEL_SCALE)))
-        .collect();
+    let scale_mult = neura_bench::scale_multiplier();
+    let mut session = ArtifactSession::from_args("table5", scale_mult);
+
+    // Modeled throughput over the common (Table 1) matrix suite; profile
+    // construction (graph generation + SpGEMM analysis) fans out over the
+    // runner, the per-platform estimates are cheap arithmetic.
+    let datasets = DatasetCatalog::spgemm_suite();
+    let profiles: Vec<WorkloadProfile> = Runner::from_env().run(&datasets, |_, d| {
+        WorkloadProfile::from_square(d.name, &scaled_matrix(d, MODEL_SCALE))
+    });
 
     let platforms = [
         SpgemmPlatform::CpuMkl,
@@ -40,6 +51,7 @@ fn main() {
             .iter()
             .map(|p| tile16.estimate(p).speedup_over(&platform.estimate(p)))
             .collect();
+        let speedup_geomean = geometric_mean(&speedups);
         rows.push(vec![
             spec.name.to_string(),
             spec.compute_units.to_string(),
@@ -54,8 +66,33 @@ fn main() {
             spec.power_w.map(|p| fmt(p, 2)).unwrap_or_else(|| "-".into()),
             spec.energy_efficiency().map(|e| fmt(e, 3)).unwrap_or_else(|| "-".into()),
             spec.area_efficiency().map(|e| fmt(e, 3)).unwrap_or_else(|| "-".into()),
-            fmt(geometric_mean(&speedups), 2),
+            fmt(speedup_geomean, 2),
         ]);
+
+        let mut record = RunRecord::new(format!("table5/{}", slugify(spec.name)))
+            .param("platform", spec.name)
+            .param("compute_units", spec.compute_units)
+            .unit_metric("frequency_ghz", spec.frequency_ghz, "GHz")
+            .unit_metric("peak_gflops", spec.peak_gflops, "GFLOP/s")
+            .unit_metric("spgemm_gops_paper", spec.spgemm_gops_reference, "GOP/s")
+            .unit_metric("mean_gops", mean_gops, "GOP/s")
+            .unit_metric("on_chip_memory_mb", spec.on_chip_memory_mb, "MB")
+            .unit_metric("off_chip_bandwidth_gbps", spec.off_chip_bandwidth_gbps, "GB/s")
+            .unit_metric("technology_nm", spec.technology_nm as f64, "nm")
+            .unit_metric("tile16_speedup_geomean", speedup_geomean, "x");
+        if let Some(area) = spec.area_mm2 {
+            record = record.unit_metric("area_mm2", area, "mm^2");
+        }
+        if let Some(power) = spec.power_w {
+            record = record.unit_metric("power_w", power, "W");
+        }
+        if let Some(e) = spec.energy_efficiency() {
+            record = record.unit_metric("gops_per_w", e, "GOP/s/W");
+        }
+        if let Some(e) = spec.area_efficiency() {
+            record = record.unit_metric("gops_per_mm2", e, "GOP/s/mm^2");
+        }
+        session.push(record);
     }
     print_table(
         "Table 5: SpGEMM accelerator comparison",
@@ -77,4 +114,8 @@ fn main() {
         ],
         &rows,
     );
+
+    let artifact = session.finish();
+    golden::check(&artifact, golden::table5_goldens(), golden::Mode::from_scale_mult(scale_mult))
+        .print_and_enforce("Table 5");
 }

@@ -1,14 +1,18 @@
 //! Shared helpers for the benchmark harness binaries.
 //!
 //! Every table and figure of the paper's evaluation has a corresponding
-//! binary in `src/bin/` (see `DESIGN.md` for the index).  The helpers here
-//! keep those binaries small: scaled dataset generation, simple fixed-width
-//! table printing, and the default scale factors used to keep the
-//! cycle-level simulations tractable on a laptop.
+//! binary in `src/bin/` (see `DESIGN.md` for the index). The experiment
+//! machinery those binaries run on — declarative sweeps, the parallel
+//! runner, table/JSON rendering and golden checks — lives in `neura_lab`;
+//! this crate keeps only the dataset scaling glue and re-exports the lab
+//! surface the binaries (and older callers) use, so `neura_bench::print_table`
+//! et al. keep working.
 
 #![warn(missing_docs)]
 
 use neura_sparse::{CsrMatrix, Dataset};
+
+pub use neura_lab::{fmt, print_table, scale_multiplier, SCALE_MULT_ENV};
 
 /// Default down-scaling factor applied to the big SuiteSparse/SNAP analogs
 /// when they are fed to the cycle-level simulator.
@@ -17,33 +21,6 @@ pub const SIM_SCALE: usize = 512;
 /// Default down-scaling factor for analytical-model workloads (cheaper, so a
 /// larger fraction of the original size is retained).
 pub const MODEL_SCALE: usize = 64;
-
-/// Environment variable multiplying every down-scaling factor used by the
-/// figure/table binaries.
-///
-/// Setting e.g. `NEURA_BENCH_SCALE_MULT=16` shrinks each workload a further
-/// 16× (graphs never shrink below 32 nodes), turning every binary into a
-/// seconds-long smoke run.  CI uses this to prove the binaries execute end to
-/// end without paying full simulation cost; leave it unset for paper-scale
-/// results.
-pub const SCALE_MULT_ENV: &str = "NEURA_BENCH_SCALE_MULT";
-
-/// The extra down-scaling multiplier from [`SCALE_MULT_ENV`] (1 if unset).
-///
-/// # Panics
-///
-/// Panics when the variable is set but not a positive integer: a typo here
-/// would otherwise silently run the full paper-scale simulation, which is
-/// exactly what the caller was trying to avoid.
-pub fn scale_multiplier() -> usize {
-    match std::env::var(SCALE_MULT_ENV) {
-        Err(_) => 1,
-        Ok(raw) => match raw.parse::<usize>() {
-            Ok(mult) if mult >= 1 => mult,
-            _ => panic!("{SCALE_MULT_ENV}={raw:?} is not a positive integer"),
-        },
-    }
-}
 
 /// Generates the scaled CSR adjacency matrix of a dataset with a fixed seed.
 ///
@@ -54,37 +31,18 @@ pub fn scaled_matrix(dataset: &Dataset, scale: usize) -> CsrMatrix {
     dataset.generate_scaled(scale, 0xDA7A + dataset.nodes as u64).to_csr()
 }
 
-/// Prints a fixed-width table with a header row and a separator.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n=== {title} ===");
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let header_line: Vec<String> = headers
-        .iter()
-        .enumerate()
-        .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
-        .collect();
-    println!("{}", header_line.join("  "));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
-    for row in rows {
-        let line: Vec<String> = row
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
-            .collect();
-        println!("{}", line.join("  "));
-    }
-}
-
-/// Formats a float with the given number of decimals.
-pub fn fmt(value: f64, decimals: usize) -> String {
-    format!("{value:.decimals$}")
+/// Resolves a dataset name through the catalog and generates its scaled CSR
+/// adjacency matrix — the common first step of a sweep point that carries
+/// only a dataset *name* (see `neura_lab::spec::SweepPoint::dataset`).
+///
+/// # Panics
+///
+/// Panics when the name is not in the catalog: sweep grids are declared
+/// with string names, so a typo must fail loudly, not silently skip work.
+pub fn scaled_matrix_by_name(name: &str, scale: usize) -> CsrMatrix {
+    let dataset = neura_sparse::DatasetCatalog::by_name(name)
+        .unwrap_or_else(|| panic!("dataset {name:?} is not in the catalog"));
+    scaled_matrix(&dataset, scale)
 }
 
 #[cfg(test)]
@@ -102,8 +60,23 @@ mod tests {
     }
 
     #[test]
-    fn fmt_rounds() {
+    fn by_name_matches_catalog_lookup() {
+        let via_name = scaled_matrix_by_name("cora", 4);
+        let via_catalog = scaled_matrix(&DatasetCatalog::by_name("cora").unwrap(), 4);
+        assert_eq!(via_name.nnz(), via_catalog.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the catalog")]
+    fn unknown_dataset_panics() {
+        scaled_matrix_by_name("definitely-not-a-dataset", 4);
+    }
+
+    #[test]
+    fn lab_reexports_are_live() {
+        // `fmt`/`print_table` moved to `neura_lab::report`; the re-exports
+        // must keep the old `neura_bench::fmt` call sites compiling.
         assert_eq!(fmt(1.23456, 2), "1.23");
-        assert_eq!(fmt(10.0, 0), "10");
+        assert_eq!(SCALE_MULT_ENV, neura_lab::SCALE_MULT_ENV);
     }
 }

@@ -1,44 +1,102 @@
-//! Smoke tests proving every paper figure/table binary runs to completion.
+//! Smoke tests proving every paper figure/table binary runs to completion
+//! and emits a parseable machine-readable artifact.
 //!
 //! Each binary is executed as a real subprocess (the exact artifact `cargo
 //! run` would launch) with [`neura_bench::SCALE_MULT_ENV`] set so the
-//! workloads shrink to seconds even in debug builds.  The assertions are
-//! deliberately weak — exit status 0 and non-empty stdout — because the
-//! numeric content at smoke scale is not meaningful; correctness of the
-//! underlying models is covered by the unit and property tests.
+//! workloads shrink to seconds even in debug builds. All eleven binaries run
+//! concurrently on the same `neura_lab::Runner` scoped-thread pool the
+//! binaries themselves use for their sweeps. Beyond exit status 0 and
+//! non-empty stdout, each binary's `--json` output must parse back through
+//! `neura_lab`'s artifact parser with at least one record and at least one
+//! metric per record — the numeric content at smoke scale is not
+//! meaningful, but the *schema* contract is enforced here; correctness of
+//! the underlying models is covered by the unit and property tests.
 
+use std::path::Path;
 use std::process::Command;
+
+use neura_lab::{parse_json, Artifact, Runner};
 
 /// Extra down-scaling applied on top of each binary's own scale factor.
 const SMOKE_MULT: &str = "32";
 
-fn run_smoke(name: &str, exe: &str) {
+/// Every artifact binary, paired with the path Cargo built it at.
+const BINARIES: [(&str, &str); 11] = [
+    ("table1", env!("CARGO_BIN_EXE_table1")),
+    ("table3", env!("CARGO_BIN_EXE_table3")),
+    ("table4", env!("CARGO_BIN_EXE_table4")),
+    ("table5", env!("CARGO_BIN_EXE_table5")),
+    ("fig11", env!("CARGO_BIN_EXE_fig11")),
+    ("fig13", env!("CARGO_BIN_EXE_fig13")),
+    ("fig14", env!("CARGO_BIN_EXE_fig14")),
+    ("fig15", env!("CARGO_BIN_EXE_fig15")),
+    ("fig16", env!("CARGO_BIN_EXE_fig16")),
+    ("fig17", env!("CARGO_BIN_EXE_fig17")),
+    ("ablation", env!("CARGO_BIN_EXE_ablation")),
+];
+
+fn run_smoke(name: &str, exe: &str, json_dir: &Path) -> Result<(), String> {
+    let json_path = json_dir.join(format!("{name}.json"));
     let output = Command::new(exe)
+        .arg("--json")
+        .arg(&json_path)
         .env(neura_bench::SCALE_MULT_ENV, SMOKE_MULT)
         .output()
-        .unwrap_or_else(|e| panic!("failed to spawn {name} ({exe}): {e}"));
+        .map_err(|e| format!("failed to spawn ({exe}): {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "exited with {:?}\nstderr:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    if output.stdout.is_empty() {
+        return Err("produced no output on stdout".to_string());
+    }
+
+    let text = std::fs::read_to_string(&json_path)
+        .map_err(|e| format!("did not write {}: {e}", json_path.display()))?;
+    let artifact = Artifact::from_json(
+        &parse_json(&text).map_err(|e| format!("artifact does not parse: {e}"))?,
+    )
+    .map_err(|e| format!("artifact schema mismatch: {e}"))?;
+    if artifact.bin != name {
+        return Err(format!("artifact names bin {:?}, expected {name:?}", artifact.bin));
+    }
+    if artifact.scale_mult.to_string() != SMOKE_MULT {
+        return Err(format!("artifact records scale_mult {}", artifact.scale_mult));
+    }
+    if artifact.records.is_empty() {
+        return Err("artifact has no records".to_string());
+    }
+    for record in &artifact.records {
+        if record.metrics.is_empty() {
+            return Err(format!("record {:?} has no metrics", record.id));
+        }
+    }
+    Ok(())
+}
+
+/// All eleven binaries, in parallel, through the lab runner.
+#[test]
+fn all_binaries_run_and_emit_parseable_artifacts() {
+    let json_dir = std::env::temp_dir().join(format!("neura_bench_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&json_dir).expect("create smoke artifact dir");
+
+    let results = Runner::from_env()
+        .run(&BINARIES, |_, (name, exe)| run_smoke(name, exe, &json_dir).map_err(|e| (*name, e)));
+
+    std::fs::remove_dir_all(&json_dir).ok();
+
+    let failures: Vec<String> = results
+        .into_iter()
+        .filter_map(Result::err)
+        .map(|(name, error)| format!("{name}: {error}"))
+        .collect();
     assert!(
-        output.status.success(),
-        "{name} exited with {:?}\nstderr:\n{}",
-        output.status.code(),
-        String::from_utf8_lossy(&output.stderr)
+        failures.is_empty(),
+        "{} binary smoke failure(s):\n{}",
+        failures.len(),
+        failures.join("\n")
     );
-    assert!(!output.stdout.is_empty(), "{name} produced no output on stdout");
-}
-
-macro_rules! bin_smoke_tests {
-    ($($name:ident),+ $(,)?) => {
-        $(
-            #[test]
-            fn $name() {
-                run_smoke(stringify!($name), env!(concat!("CARGO_BIN_EXE_", stringify!($name))));
-            }
-        )+
-    };
-}
-
-bin_smoke_tests! {
-    table1, table3, table4, table5,
-    fig11, fig13, fig14, fig15, fig16, fig17,
-    ablation,
 }

@@ -1,0 +1,235 @@
+//! `neura_lab` — the experiment layer of the NeuraChip reproduction.
+//!
+//! Every paper figure/table binary used to be a bespoke serial loop that
+//! printed a fixed-width table and threw its numbers away. This crate turns
+//! those binaries into *experiments*: declarative sweeps, parallel
+//! execution, machine-readable results and regression checks against the
+//! paper's published numbers. Data flows through four modules in order:
+//!
+//! 1. **[`spec`]** — declare the experiment. An [`ExperimentSpec`] names a
+//!    base [`ChipConfig`](neura_chip::config::ChipConfig) and a
+//!    [`SweepGrid`] of axes to vary (dataset, tile size, compute mapping,
+//!    eviction policy, MMH tile height, HashPad size).
+//!    [`ExperimentSpec::points`] enumerates the cartesian product in a
+//!    stable order with a stable run ID and derived seed per point.
+//! 2. **[`runner`]** — execute it. [`Runner`] fans the points out over a
+//!    scoped-thread work-stealing pool (a shared atomic cursor over the
+//!    point list; `std` only) and collects results *in spec order*, so
+//!    output is byte-identical regardless of the thread count.
+//! 3. **[`report`]** — record what happened. Each point produces a
+//!    [`RunRecord`] of parameters and [`Metric`]s; an [`Artifact`] bundles a
+//!    binary's records and serialises them through the crate's own
+//!    deterministic JSON emitter (the vendored `serde` is a no-op stub) to
+//!    `target/artifacts/<bin>.json`. A mini JSON parser round-trips
+//!    artifacts for tests and downstream tooling.
+//! 4. **[`golden`]** — check it. Tolerance-checked comparison of emitted
+//!    metrics against checked-in expected values for the paper's headline
+//!    numbers (Table 5 throughput, Figure 16/17 speedup means), strict at
+//!    paper scale and relaxed to presence checks under
+//!    [`SCALE_MULT_ENV`] smoke shrinking.
+//!
+//! Binaries tie the stages together with an [`ArtifactSession`], which owns
+//! the `--json [path]` command-line contract:
+//!
+//! ```no_run
+//! use neura_lab::{ArtifactSession, RunRecord};
+//!
+//! let mut session = ArtifactSession::from_args("demo", neura_lab::scale_multiplier());
+//! session.push(RunRecord::new("demo/point").metric("total_cycles", 1234.0));
+//! session.finish(); // writes target/artifacts/demo.json when --json was given
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod golden;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use report::{fmt, parse_json, print_table, Artifact, JsonValue, Metric, RunRecord};
+pub use runner::Runner;
+pub use spec::{ExperimentSpec, SweepGrid, SweepPoint};
+
+use std::path::PathBuf;
+
+/// Environment variable multiplying every down-scaling factor used by the
+/// figure/table binaries.
+///
+/// Setting e.g. `NEURA_BENCH_SCALE_MULT=16` shrinks each workload a further
+/// 16× (graphs never shrink below 32 nodes), turning every binary into a
+/// seconds-long smoke run. CI uses this to prove the binaries execute end to
+/// end without paying full simulation cost; leave it unset for paper-scale
+/// results. Golden checks relax to presence-only assertions whenever the
+/// multiplier is above 1 (see [`golden::Mode::from_scale_mult`]).
+pub const SCALE_MULT_ENV: &str = "NEURA_BENCH_SCALE_MULT";
+
+/// The extra down-scaling multiplier from [`SCALE_MULT_ENV`] (1 if unset).
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a positive integer: a typo here
+/// would otherwise silently run the full paper-scale simulation, which is
+/// exactly what the caller was trying to avoid.
+pub fn scale_multiplier() -> usize {
+    match std::env::var(SCALE_MULT_ENV) {
+        Err(_) => 1,
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(mult) if mult >= 1 => mult,
+            _ => panic!("{SCALE_MULT_ENV}={raw:?} is not a positive integer"),
+        },
+    }
+}
+
+/// A binary's artifact under construction plus the `--json` destination
+/// parsed from its command line.
+///
+/// Accepted arguments (shared by all 11 artifact binaries):
+///
+/// - `--json` — emit the artifact to `target/artifacts/<bin>.json`
+/// - `--json <path>` — emit the artifact to an explicit path
+/// - `--help` / `-h` — print usage and exit
+#[derive(Debug)]
+pub struct ArtifactSession {
+    artifact: Artifact,
+    json_path: Option<PathBuf>,
+}
+
+impl ArtifactSession {
+    /// Parses `std::env::args()` and opens a session for `bin`.
+    ///
+    /// Exits the process with code 2 (and a usage message on stderr) on an
+    /// unrecognised argument, and with code 0 on `--help`.
+    pub fn from_args(bin: &str, scale_mult: usize) -> Self {
+        Self::from_arg_list(bin, scale_mult, std::env::args().skip(1))
+    }
+
+    /// [`Self::from_args`] with an explicit argument list (testable core).
+    pub fn from_arg_list(
+        bin: &str,
+        scale_mult: usize,
+        args: impl IntoIterator<Item = String>,
+    ) -> Self {
+        let mut json_path = None;
+        let mut args = args.into_iter().peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => {
+                    json_path = Some(match args.peek() {
+                        Some(next) if !next.starts_with("--") => {
+                            PathBuf::from(args.next().expect("peeked"))
+                        }
+                        _ => Artifact::default_path(bin),
+                    });
+                }
+                "--help" | "-h" => {
+                    println!("{}", Self::usage(bin));
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unrecognised argument {other:?}\n{}", Self::usage(bin));
+                    std::process::exit(2);
+                }
+            }
+        }
+        ArtifactSession { artifact: Artifact::new(bin, scale_mult), json_path }
+    }
+
+    fn usage(bin: &str) -> String {
+        format!(
+            "usage: {bin} [--json [PATH]]\n\
+             \n\
+             --json [PATH]  write a machine-readable artifact ({SCHEMA}) to PATH\n\
+             \x20              (default: {default})",
+            SCHEMA = report::SCHEMA,
+            default = Artifact::default_path(bin).display(),
+        )
+    }
+
+    /// Where the artifact will be written, if `--json` was given.
+    pub fn json_path(&self) -> Option<&std::path::Path> {
+        self.json_path.as_deref()
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: RunRecord) {
+        self.artifact.push(record);
+    }
+
+    /// Appends many records.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = RunRecord>) {
+        self.artifact.extend(records);
+    }
+
+    /// Read access to the artifact built so far.
+    pub fn artifact(&self) -> &Artifact {
+        &self.artifact
+    }
+
+    /// Writes the artifact (when `--json` was requested) and returns it, so
+    /// the caller can hand it to [`golden::check`].
+    ///
+    /// Exits with code 1 if the file cannot be written — a silently dropped
+    /// artifact would defeat the whole point of the subsystem.
+    pub fn finish(self) -> Artifact {
+        if let Some(path) = &self.json_path {
+            if let Err(e) = self.artifact.write(path) {
+                eprintln!("failed to write artifact {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("\nwrote {} ({} records)", path.display(), self.artifact.records.len());
+        }
+        self.artifact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_means_no_json_emission() {
+        let session = ArtifactSession::from_arg_list("demo", 1, strings(&[]));
+        assert_eq!(session.json_path(), None);
+        assert_eq!(session.artifact().bin, "demo");
+    }
+
+    #[test]
+    fn bare_json_flag_uses_the_default_path() {
+        let session = ArtifactSession::from_arg_list("demo", 1, strings(&["--json"]));
+        assert_eq!(session.json_path(), Some(Artifact::default_path("demo").as_path()));
+    }
+
+    #[test]
+    fn json_flag_accepts_an_explicit_path() {
+        let session =
+            ArtifactSession::from_arg_list("demo", 4, strings(&["--json", "/tmp/out.json"]));
+        assert_eq!(session.json_path(), Some(std::path::Path::new("/tmp/out.json")));
+        assert_eq!(session.artifact().scale_mult, 4);
+    }
+
+    #[test]
+    fn finish_round_trips_through_the_parser() {
+        let dir = std::env::temp_dir().join(format!("neura_lab_session_{}", std::process::id()));
+        let path = dir.join("demo.json");
+        let mut session =
+            ArtifactSession::from_arg_list("demo", 1, strings(&["--json", path.to_str().unwrap()]));
+        session.push(RunRecord::new("demo/a").metric("m", 1.5));
+        let artifact = session.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = Artifact::from_json(&parse_json(&text).unwrap()).unwrap();
+        assert_eq!(parsed, artifact);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scale_multiplier_defaults_to_one() {
+        // The test environment does not set the variable.
+        if std::env::var(SCALE_MULT_ENV).is_err() {
+            assert_eq!(scale_multiplier(), 1);
+        }
+    }
+}

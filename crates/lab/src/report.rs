@@ -1,0 +1,756 @@
+//! Typed run results and the machine-readable artifact format.
+//!
+//! The vendored `serde` stub is a no-op, so this module owns the whole JSON
+//! story: a small document model ([`JsonValue`]) with deterministic
+//! formatting, a recursive-descent parser used by the tests and the smoke
+//! harness to round-trip what the binaries emit, and the typed
+//! [`Artifact`]/[`RunRecord`]/[`Metric`] layer the binaries actually build.
+//!
+//! Determinism matters here: the acceptance bar for the parallel runner is
+//! that a 2-thread and an 8-thread run of the same spec produce *byte
+//! identical* JSON, so object keys keep insertion order and floats are
+//! formatted with Rust's shortest round-trip representation rather than
+//! anything locale- or platform-dependent.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Version tag embedded in every artifact so downstream tooling can detect
+/// schema changes. Bump when the shape of the emitted JSON changes.
+pub const SCHEMA: &str = "neura_lab.artifact/v1";
+
+/// Directory (relative to the working directory) where artifacts land when
+/// `--json` is given without an explicit path.
+pub const ARTIFACT_DIR: &str = "target/artifacts";
+
+// ---------------------------------------------------------------------------
+// JSON document model
+// ---------------------------------------------------------------------------
+
+/// A JSON document. Objects preserve insertion order so that emission is
+/// deterministic and diffs between runs are meaningful.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also what non-finite floats serialise to).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite double-precision number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object as an ordered key/value list.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object (first match; `None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialises the document with two-space indentation and a trailing
+    /// newline — the exact bytes written to artifact files.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => write_number(out, *n),
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) if items.is_empty() => out.push_str("[]"),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(pairs) if pairs.is_empty() => out.push_str("{}"),
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Formats a float deterministically: Rust's shortest round-trip form, which
+/// is valid JSON for every finite value (`1.0`, `0.25`, `1e300`). Non-finite
+/// values have no JSON spelling and become `null`.
+fn write_number(out: &mut String, n: f64) {
+    if n.is_finite() {
+        let _ = write!(out, "{n:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser (used by tests and the smoke harness to round-trip artifacts)
+// ---------------------------------------------------------------------------
+
+/// Error produced by [`parse_json`], with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset at which parsing failed.
+    pub offset: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses a JSON document. Supports the full emitted surface (and standard
+/// JSON generally, including `\uXXXX` escapes with surrogate pairs); rejects
+/// trailing garbage.
+pub fn parse_json(input: &str) -> Result<JsonValue, JsonParseError> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> JsonParseError {
+        JsonParseError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected literal {text:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so this is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonParseError> {
+        let Some(byte) = self.peek() else {
+            return Err(self.error("unterminated escape"));
+        };
+        self.pos += 1;
+        Ok(match byte {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: must be followed by \uDC00..\uDFFF.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(self.error("invalid low surrogate"));
+                        }
+                        let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))?
+                    } else {
+                        return Err(self.error("lone high surrogate"));
+                    }
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.error("invalid \\u escape"))?
+                }
+            }
+            _ => return Err(self.error("unknown escape character")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let Some(byte) = self.peek() else {
+                return Err(self.error("truncated \\u escape"));
+            };
+            let digit = (byte as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("non-hex digit in \\u escape"))?;
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| JsonParseError { offset: start, message: format!("bad number {text:?}") })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed result layer
+// ---------------------------------------------------------------------------
+
+/// One named measurement produced by a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name, e.g. `"total_cycles"` or `"speedup"`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Optional unit, e.g. `"cycles"`, `"x"`, `"GOP/s"`.
+    pub unit: Option<String>,
+}
+
+/// The result of one experiment point: a stable ID, the parameters that
+/// produced it, and the metrics it measured.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunRecord {
+    /// Stable identifier, unique within an artifact
+    /// (e.g. `"fig16/speedup/ca-CondMat"`).
+    pub id: String,
+    /// Ordered parameter list describing the point.
+    pub params: Vec<(String, String)>,
+    /// Ordered metric list.
+    pub metrics: Vec<Metric>,
+}
+
+impl RunRecord {
+    /// Creates an empty record with the given ID.
+    pub fn new(id: impl Into<String>) -> Self {
+        RunRecord { id: id.into(), params: Vec::new(), metrics: Vec::new() }
+    }
+
+    /// Appends a parameter (builder style).
+    pub fn param(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.params.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Appends a unit-less metric (builder style).
+    pub fn metric(self, name: impl Into<String>, value: f64) -> Self {
+        self.metric_with_unit(name, value, None)
+    }
+
+    /// Appends a metric with a unit (builder style).
+    pub fn unit_metric(self, name: impl Into<String>, value: f64, unit: &str) -> Self {
+        self.metric_with_unit(name, value, Some(unit.to_string()))
+    }
+
+    fn metric_with_unit(
+        mut self,
+        name: impl Into<String>,
+        value: f64,
+        unit: Option<String>,
+    ) -> Self {
+        self.metrics.push(Metric { name: name.into(), value, unit });
+        self
+    }
+
+    /// Looks up a metric value by name.
+    pub fn metric_value(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|m| m.name == name).map(|m| m.value)
+    }
+
+    /// Appends the standard metric set of a cycle-level
+    /// [`ExecutionReport`](neura_chip::accelerator::ExecutionReport), so
+    /// every simulating binary emits the same schema for the same
+    /// quantities.
+    pub fn with_execution(self, report: &neura_chip::accelerator::ExecutionReport) -> Self {
+        let (mem_max_over_mean, mem_cv) =
+            neura_sparse::stats::imbalance(&report.mem_work_histogram);
+        self.unit_metric("total_cycles", report.total_cycles as f64, "cycles")
+            .metric("mmh_instructions", report.mmh_instructions as f64)
+            .metric("hacc_instructions", report.hacc_instructions as f64)
+            .unit_metric("cpi", report.cpi, "cycles/instr")
+            .unit_metric("ipc", report.ipc, "instr/cycle")
+            .unit_metric("gops", report.gops, "GOP/s")
+            .metric("core_utilization", report.core_utilization)
+            .unit_metric("avg_hacc_latency", report.hacc_latency_histogram.mean(), "cycles")
+            .metric("peak_hashpad_occupancy", report.peak_hashpad_occupancy as f64)
+            .unit_metric("hashpad_full_stalls", report.hashpad_full_stalls as f64, "cycles")
+            .metric("hash_collisions", report.hash_collisions as f64)
+            .metric("evictions", report.evictions as f64)
+            .metric("mem_work_max_over_mean", mem_max_over_mean)
+            .metric("mem_work_cv", mem_cv)
+            .unit_metric("dram_bytes_read", report.dram_bytes_read as f64, "bytes")
+            .unit_metric("dram_bytes_written", report.dram_bytes_written as f64, "bytes")
+            .metric("noc_packets", report.noc_packets as f64)
+            .unit_metric("execution_seconds", report.execution_seconds, "s")
+    }
+}
+
+/// A full artifact: every record one binary emitted in one invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Name of the emitting binary (`"fig16"`, `"table5"`, …).
+    pub bin: String,
+    /// The [`crate::scale_multiplier`] the run used (1 = paper scale).
+    pub scale_mult: usize,
+    /// All records, in emission order.
+    pub records: Vec<RunRecord>,
+}
+
+impl Artifact {
+    /// Creates an empty artifact for a binary at the given scale multiplier.
+    pub fn new(bin: impl Into<String>, scale_mult: usize) -> Self {
+        Artifact { bin: bin.into(), scale_mult, records: Vec::new() }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: RunRecord) {
+        self.records.push(record);
+    }
+
+    /// Appends many records.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = RunRecord>) {
+        self.records.extend(records);
+    }
+
+    /// Finds a record by its stable ID.
+    pub fn record(&self, id: &str) -> Option<&RunRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Converts to the JSON document model.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("schema".into(), JsonValue::String(SCHEMA.into())),
+            ("bin".into(), JsonValue::String(self.bin.clone())),
+            ("scale_mult".into(), JsonValue::Number(self.scale_mult as f64)),
+            (
+                "records".into(),
+                JsonValue::Array(
+                    self.records
+                        .iter()
+                        .map(|r| {
+                            let mut fields = vec![
+                                ("id".into(), JsonValue::String(r.id.clone())),
+                                (
+                                    "params".into(),
+                                    JsonValue::Object(
+                                        r.params
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), JsonValue::String(v.clone())))
+                                            .collect(),
+                                    ),
+                                ),
+                            ];
+                            fields.push((
+                                "metrics".into(),
+                                JsonValue::Array(
+                                    r.metrics
+                                        .iter()
+                                        .map(|m| {
+                                            let mut pairs = vec![
+                                                ("name".into(), JsonValue::String(m.name.clone())),
+                                                ("value".into(), JsonValue::Number(m.value)),
+                                            ];
+                                            if let Some(unit) = &m.unit {
+                                                pairs.push((
+                                                    "unit".into(),
+                                                    JsonValue::String(unit.clone()),
+                                                ));
+                                            }
+                                            JsonValue::Object(pairs)
+                                        })
+                                        .collect(),
+                                ),
+                            ));
+                            JsonValue::Object(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds an artifact from its JSON form (inverse of [`Self::to_json`]).
+    ///
+    /// Used by tests and the smoke harness; unknown fields are ignored so the
+    /// schema can grow additively.
+    pub fn from_json(doc: &JsonValue) -> Result<Self, String> {
+        let schema = doc.get("schema").and_then(JsonValue::as_str).unwrap_or_default();
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (expected {SCHEMA:?})"));
+        }
+        let bin = doc.get("bin").and_then(JsonValue::as_str).ok_or("missing \"bin\"")?.to_string();
+        let scale_mult =
+            doc.get("scale_mult").and_then(JsonValue::as_f64).ok_or("missing \"scale_mult\"")?
+                as usize;
+        let mut records = Vec::new();
+        for raw in doc.get("records").and_then(JsonValue::as_array).ok_or("missing \"records\"")? {
+            let mut record = RunRecord::new(
+                raw.get("id").and_then(JsonValue::as_str).ok_or("record missing \"id\"")?,
+            );
+            if let Some(JsonValue::Object(pairs)) = raw.get("params") {
+                for (key, value) in pairs {
+                    let value = value.as_str().ok_or("non-string param value")?;
+                    record.params.push((key.clone(), value.to_string()));
+                }
+            }
+            for metric in raw
+                .get("metrics")
+                .and_then(JsonValue::as_array)
+                .ok_or("record missing \"metrics\"")?
+            {
+                record.metrics.push(Metric {
+                    name: metric
+                        .get("name")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("metric missing \"name\"")?
+                        .to_string(),
+                    value: metric
+                        .get("value")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or("metric missing \"value\"")?,
+                    unit: metric.get("unit").and_then(JsonValue::as_str).map(str::to_string),
+                });
+            }
+            records.push(record);
+        }
+        Ok(Artifact { bin, scale_mult, records })
+    }
+
+    /// The serialised bytes of this artifact (what [`Self::write`] puts on
+    /// disk).
+    pub fn to_bytes(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// The default on-disk location for a binary's artifact:
+    /// `target/artifacts/<bin>.json` relative to the working directory.
+    pub fn default_path(bin: &str) -> PathBuf {
+        Path::new(ARTIFACT_DIR).join(format!("{bin}.json"))
+    }
+
+    /// Writes the artifact to `path`, creating parent directories as needed.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_bytes())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Human-readable table rendering (moved here from `neura_bench` so the two
+// output formats live side by side)
+// ---------------------------------------------------------------------------
+
+/// Prints a fixed-width table with a header row and a separator.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a float with the given number of decimals (table cells).
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_control_chars() {
+        let value = JsonValue::String("a\"b\\c\nd\te\r\u{1}ü".into());
+        let text = value.to_pretty();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\\te\\r\\u0001ü\"\n");
+        assert_eq!(parse_json(text.trim()).unwrap(), value);
+    }
+
+    #[test]
+    fn numbers_round_trip_shortest_form() {
+        for n in [0.0, -0.0, 1.0, 0.1, 2.5e-9, 1e300, f64::MAX, 123456789.125] {
+            let mut out = String::new();
+            write_number(&mut out, n);
+            let parsed = parse_json(&out).unwrap().as_f64().unwrap();
+            assert_eq!(parsed.to_bits(), n.to_bits(), "{n} round-trips");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_emit_null() {
+        let mut out = String::new();
+        write_number(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes_and_surrogate_pairs() {
+        assert_eq!(parse_json(r#""é""#).unwrap(), JsonValue::String("é".into()));
+        assert_eq!(parse_json(r#""😀""#).unwrap(), JsonValue::String("😀".into()));
+        assert!(parse_json(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage() {
+        assert!(parse_json("{} x").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+    }
+
+    #[test]
+    fn nested_record_round_trips() {
+        let mut artifact = Artifact::new("demo", 4);
+        artifact.push(
+            RunRecord::new("demo/a")
+                .param("dataset", "cora")
+                .param("mapping", "drhm")
+                .metric("total_cycles", 1234.0)
+                .unit_metric("gops", 3.25, "GOP/s"),
+        );
+        artifact.push(RunRecord::new("demo/empty"));
+        let text = artifact.to_bytes();
+        let parsed = Artifact::from_json(&parse_json(&text).unwrap()).unwrap();
+        assert_eq!(parsed, artifact);
+        assert_eq!(parsed.record("demo/a").unwrap().metric_value("gops"), Some(3.25));
+    }
+
+    #[test]
+    fn default_path_is_under_target_artifacts() {
+        assert_eq!(Artifact::default_path("fig16"), Path::new("target/artifacts/fig16.json"));
+    }
+
+    #[test]
+    fn print_table_tolerates_ragged_rows() {
+        // Exercised for coverage: rows wider than the header must not panic.
+        print_table("t", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

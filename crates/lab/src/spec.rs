@@ -1,0 +1,367 @@
+//! Declarative experiment descriptions: a cartesian sweep over the
+//! [`ChipConfig`] design space and the datasets it runs on.
+//!
+//! A [`SweepGrid`] names the axes being varied (compute mapping, eviction
+//! policy, MMH tile height, HashPad size, tile size, dataset); an
+//! [`ExperimentSpec`] pairs a grid with a base configuration and a name.
+//! [`ExperimentSpec::points`] enumerates the full cartesian product in a
+//! stable, documented order, assigning each point a stable human-readable
+//! run ID and a seed derived from that ID — so the same spec always produces
+//! the same points with the same seeds, regardless of how (or on how many
+//! threads) it is executed.
+
+use neura_chip::config::{ChipConfig, EvictionPolicy, TileSize};
+use neura_chip::mapping::MappingKind;
+
+/// The axes of a cartesian sweep. An empty axis means "hold the base
+/// configuration's value" and contributes exactly one (default) setting to
+/// the product, so the point count is always the product of
+/// `max(1, axis.len())` over all axes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepGrid {
+    /// Dataset names (resolved by the caller, typically through
+    /// `DatasetCatalog::by_name`). Empty = a single dataset-less point.
+    pub datasets: Vec<String>,
+    /// Tile sizes to sweep (`ChipConfig::for_tile_size`).
+    pub tile_sizes: Vec<TileSize>,
+    /// Compute mappings to sweep.
+    pub mappings: Vec<MappingKind>,
+    /// Eviction policies to sweep.
+    pub evictions: Vec<EvictionPolicy>,
+    /// MMH tile heights to sweep (must each be 1, 2, 4 or 8).
+    pub mmh_tiles: Vec<u8>,
+    /// HashPad sizes (hash-lines per NeuraMem) to sweep.
+    pub hashlines: Vec<usize>,
+}
+
+impl SweepGrid {
+    /// An empty grid: one point, entirely defined by the base configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the dataset axis (builder style).
+    pub fn datasets<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
+        self.datasets = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the tile-size axis (builder style).
+    pub fn tile_sizes(mut self, sizes: impl IntoIterator<Item = TileSize>) -> Self {
+        self.tile_sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Sets the compute-mapping axis (builder style).
+    pub fn mappings(mut self, mappings: impl IntoIterator<Item = MappingKind>) -> Self {
+        self.mappings = mappings.into_iter().collect();
+        self
+    }
+
+    /// Sets the eviction-policy axis (builder style).
+    pub fn evictions(mut self, evictions: impl IntoIterator<Item = EvictionPolicy>) -> Self {
+        self.evictions = evictions.into_iter().collect();
+        self
+    }
+
+    /// Sets the MMH tile-height axis (builder style).
+    pub fn mmh_tiles(mut self, tiles: impl IntoIterator<Item = u8>) -> Self {
+        self.mmh_tiles = tiles.into_iter().collect();
+        self
+    }
+
+    /// Sets the HashPad-size axis (builder style).
+    pub fn hashlines(mut self, hashlines: impl IntoIterator<Item = usize>) -> Self {
+        self.hashlines = hashlines.into_iter().collect();
+        self
+    }
+
+    /// Number of points the grid enumerates (product of non-empty axis
+    /// lengths).
+    pub fn len(&self) -> usize {
+        [
+            self.datasets.len(),
+            self.tile_sizes.len(),
+            self.mappings.len(),
+            self.evictions.len(),
+            self.mmh_tiles.len(),
+            self.hashlines.len(),
+        ]
+        .iter()
+        .map(|&n| n.max(1))
+        .product()
+    }
+
+    /// Whether the grid enumerates exactly one all-default point.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+}
+
+/// One enumerated point of a sweep: the concrete configuration to run plus
+/// its identity within the spec.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Position in the spec's enumeration order (0-based).
+    pub index: usize,
+    /// Stable run ID: `<spec>/<dataset>/<axis values that vary>`.
+    pub id: String,
+    /// Dataset name, when the grid has a dataset axis.
+    pub dataset: Option<String>,
+    /// The fully resolved configuration (including the derived seed).
+    pub config: ChipConfig,
+}
+
+impl SweepPoint {
+    /// The ordered `(key, value)` parameter list describing this point, as
+    /// recorded in artifacts.
+    pub fn params(&self) -> Vec<(String, String)> {
+        let mut params = Vec::new();
+        if let Some(dataset) = &self.dataset {
+            params.push(("dataset".to_string(), dataset.clone()));
+        }
+        params.push(("tile".to_string(), self.config.tile_size.name().to_string()));
+        params.push(("mapping".to_string(), self.config.mapping.name().to_string()));
+        params.push(("eviction".to_string(), eviction_name(self.config.eviction).to_string()));
+        params.push(("mmh_tile".to_string(), self.config.mmh_tile.to_string()));
+        params.push(("hashlines".to_string(), self.config.mem.hashlines.to_string()));
+        params.push(("seed".to_string(), self.config.seed.to_string()));
+        params
+    }
+}
+
+/// Lower-case name of an eviction policy, used in run IDs and params.
+pub fn eviction_name(policy: EvictionPolicy) -> &'static str {
+    match policy {
+        EvictionPolicy::Rolling => "rolling",
+        EvictionPolicy::Barrier => "barrier",
+    }
+}
+
+/// A named, declarative experiment: a base configuration plus the grid of
+/// axes to sweep around it.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Spec name; the leading component of every run ID.
+    pub name: String,
+    /// Configuration used for every axis the grid leaves empty.
+    pub base: ChipConfig,
+    /// The sweep axes.
+    pub grid: SweepGrid,
+}
+
+impl ExperimentSpec {
+    /// Creates a spec with the given name, base configuration and grid.
+    pub fn new(name: impl Into<String>, base: ChipConfig, grid: SweepGrid) -> Self {
+        ExperimentSpec { name: name.into(), base, grid }
+    }
+
+    /// Enumerates every point of the cartesian product, in a stable order:
+    /// dataset-major, then tile size, mapping, eviction, MMH tile and
+    /// HashPad size (the last axis varies fastest).
+    ///
+    /// Run IDs name the spec, the dataset, and *only* the axes the grid
+    /// actually sweeps (a one-point axis adds no ID segment), so IDs stay
+    /// short and stable when a new axis is later swept with its old default.
+    /// Each point's seed is derived by hashing the spec name and dataset
+    /// with the base seed — deliberately *excluding* the swept config axes,
+    /// so all arms of an A/B comparison (rolling vs barrier, MMH1 vs MMH8,
+    /// …) run with the identical seed and differ only in the ablated axis,
+    /// while different datasets (and different specs) still decorrelate.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let datasets: Vec<Option<&str>> = if self.grid.datasets.is_empty() {
+            vec![None]
+        } else {
+            self.grid.datasets.iter().map(|d| Some(d.as_str())).collect()
+        };
+        let tile_sizes: Vec<Option<TileSize>> = axis(&self.grid.tile_sizes);
+        let mappings: Vec<Option<MappingKind>> = axis(&self.grid.mappings);
+        let evictions: Vec<Option<EvictionPolicy>> = axis(&self.grid.evictions);
+        let mmh_tiles: Vec<Option<u8>> = axis(&self.grid.mmh_tiles);
+        let hashlines: Vec<Option<usize>> = axis(&self.grid.hashlines);
+
+        let mut points = Vec::with_capacity(self.grid.len());
+        for dataset in &datasets {
+            let mut seed_scope = self.name.clone();
+            if let Some(d) = dataset {
+                seed_scope.push('/');
+                seed_scope.push_str(d);
+            }
+            let seed = derive_seed(self.base.seed, &seed_scope);
+            for &tile_size in &tile_sizes {
+                for &mapping in &mappings {
+                    for &eviction in &evictions {
+                        for &mmh_tile in &mmh_tiles {
+                            for &lines in &hashlines {
+                                let mut config = match tile_size {
+                                    Some(t) => {
+                                        // Preserve non-structural base overrides
+                                        // when sweeping the tile size.
+                                        ChipConfig::for_tile_size(t)
+                                            .with_mapping(self.base.mapping)
+                                            .with_eviction(self.base.eviction)
+                                            .with_mmh_tile(self.base.mmh_tile)
+                                            .with_seed(self.base.seed)
+                                    }
+                                    None => self.base.clone(),
+                                };
+                                if let Some(m) = mapping {
+                                    config.mapping = m;
+                                }
+                                if let Some(e) = eviction {
+                                    config.eviction = e;
+                                }
+                                if let Some(t) = mmh_tile {
+                                    config = config.with_mmh_tile(t);
+                                }
+                                if let Some(h) = lines {
+                                    config.mem.hashlines = h;
+                                }
+
+                                let mut id = self.name.clone();
+                                if let Some(d) = dataset {
+                                    id.push('/');
+                                    id.push_str(d);
+                                }
+                                if tile_size.is_some() {
+                                    id.push('/');
+                                    id.push_str(config.tile_size.name());
+                                }
+                                if mapping.is_some() {
+                                    id.push('/');
+                                    id.push_str(config.mapping.name());
+                                }
+                                if eviction.is_some() {
+                                    id.push('/');
+                                    id.push_str(eviction_name(config.eviction));
+                                }
+                                if mmh_tile.is_some() {
+                                    id.push_str(&format!("/mmh{}", config.mmh_tile));
+                                }
+                                if lines.is_some() {
+                                    id.push_str(&format!("/hl{}", config.mem.hashlines));
+                                }
+
+                                config.seed = seed;
+                                points.push(SweepPoint {
+                                    index: points.len(),
+                                    id,
+                                    dataset: dataset.map(str::to_string),
+                                    config,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+}
+
+fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+    if values.is_empty() {
+        vec![None]
+    } else {
+        values.iter().copied().map(Some).collect()
+    }
+}
+
+/// Derives a sweep seed: FNV-1a over a scope string (spec name + dataset),
+/// mixed with the base seed through a SplitMix64 finaliser. Pure function
+/// of `(base, id)`.
+pub fn derive_seed(base: u64, id: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = h ^ base.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_grid_is_one_default_point() {
+        let spec = ExperimentSpec::new("t", ChipConfig::tile_16(), SweepGrid::new());
+        let points = spec.points();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].id, "t");
+        assert_eq!(points[0].dataset, None);
+        assert_eq!(points[0].config.tile_size, TileSize::Tile16);
+    }
+
+    #[test]
+    fn ids_name_only_swept_axes() {
+        let spec = ExperimentSpec::new(
+            "ablation",
+            ChipConfig::tile_16(),
+            SweepGrid::new().datasets(["cora"]).mappings(MappingKind::ALL),
+        );
+        let ids: Vec<String> = spec.points().into_iter().map(|p| p.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "ablation/cora/ring",
+                "ablation/cora/modular",
+                "ablation/cora/random-table",
+                "ablation/cora/drhm",
+            ]
+        );
+    }
+
+    #[test]
+    fn tile_size_axis_preserves_base_overrides() {
+        let base = ChipConfig::tile_16().with_mapping(MappingKind::Ring).with_mmh_tile(8);
+        let spec = ExperimentSpec::new("t", base, SweepGrid::new().tile_sizes(TileSize::ALL));
+        for point in spec.points() {
+            assert_eq!(point.config.mapping, MappingKind::Ring);
+            assert_eq!(point.config.mmh_tile, 8);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_shared_across_comparison_arms() {
+        let spec = ExperimentSpec::new(
+            "s",
+            ChipConfig::tile_16(),
+            SweepGrid::new().mmh_tiles([1, 2, 4, 8]),
+        );
+        let a = spec.points();
+        let b = spec.points();
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.config.seed, pb.config.seed, "seeds are stable across enumerations");
+        }
+        // All arms of an ablation share one seed, so only the swept axis
+        // differs between the compared runs.
+        assert!(a.iter().all(|p| p.config.seed == a[0].config.seed));
+    }
+
+    #[test]
+    fn seeds_decorrelate_across_datasets_and_specs() {
+        let grid = SweepGrid::new().datasets(["cora", "facebook"]);
+        let points = ExperimentSpec::new("s", ChipConfig::tile_16(), grid.clone()).points();
+        assert_ne!(points[0].config.seed, points[1].config.seed);
+        let other = ExperimentSpec::new("t", ChipConfig::tile_16(), grid).points();
+        assert_ne!(points[0].config.seed, other[0].config.seed);
+    }
+
+    #[test]
+    fn params_describe_the_resolved_config() {
+        let spec = ExperimentSpec::new(
+            "s",
+            ChipConfig::tile_16(),
+            SweepGrid::new().datasets(["cora"]).hashlines([256]),
+        );
+        let point = &spec.points()[0];
+        let params = point.params();
+        assert!(params.contains(&("dataset".into(), "cora".into())));
+        assert!(params.contains(&("hashlines".into(), "256".into())));
+        assert!(params.contains(&("tile".into(), "Tile-16".into())));
+    }
+}

@@ -1,0 +1,50 @@
+//! The artifact contract: executing the same spec on different thread
+//! counts must produce *byte-identical* JSON. The runner collects results
+//! in spec order and every point's seed is derived from its run ID, so
+//! nothing about scheduling may leak into the output.
+
+use neura_chip::accelerator::Accelerator;
+use neura_chip::config::{ChipConfig, EvictionPolicy};
+use neura_chip::mapping::MappingKind;
+use neura_lab::{Artifact, ExperimentSpec, RunRecord, Runner, SweepGrid};
+use neura_sparse::gen::GraphGenerator;
+use neura_sparse::CsrMatrix;
+
+fn run_with(threads: usize, a: &CsrMatrix) -> String {
+    let spec = ExperimentSpec::new(
+        "det",
+        ChipConfig::tile_16(),
+        SweepGrid::new()
+            .mappings(MappingKind::ALL)
+            .evictions([EvictionPolicy::Rolling, EvictionPolicy::Barrier]),
+    );
+    let mut artifact = Artifact::new("det", 1);
+    let results = Runner::new(threads).run_spec(&spec, |point| {
+        let mut chip = Accelerator::new(point.config.clone());
+        let run = chip.run_spgemm(a, a).expect("simulation drains");
+        (run.report.total_cycles, run.report.gops, run.product.nnz())
+    });
+    for (point, (cycles, gops, nnz)) in results {
+        let mut record = RunRecord::new(&point.id)
+            .metric("total_cycles", cycles as f64)
+            .unit_metric("gops", gops, "GOP/s")
+            .metric("output_nnz", nnz as f64);
+        record.params = point.params();
+        artifact.push(record);
+    }
+    artifact.to_bytes()
+}
+
+#[test]
+fn two_and_eight_thread_runs_emit_identical_bytes() {
+    let a = GraphGenerator::power_law(64, 420, 2.1, 7).generate().to_csr();
+    let two = run_with(2, &a);
+    let eight = run_with(8, &a);
+    assert!(!two.is_empty());
+    assert_eq!(two, eight, "artifact bytes must not depend on the thread count");
+
+    // And the bytes round-trip through the parser into 8 records.
+    let parsed = Artifact::from_json(&neura_lab::parse_json(&two).unwrap()).unwrap();
+    assert_eq!(parsed.records.len(), 8);
+    assert!(parsed.records.iter().all(|r| !r.metrics.is_empty()));
+}

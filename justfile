@@ -1,7 +1,11 @@
 # Local mirror of .github/workflows/ci.yml — `just ci` before pushing.
 
+# The 11 paper-artifact binaries (keep in sync with the loop in ci.yml and
+# the BINARIES table in crates/bench/tests/bin_smoke.rs).
+bins := "table1 table3 table4 table5 fig11 fig13 fig14 fig15 fig16 fig17 ablation"
+
 # Run everything CI runs.
-ci: fmt clippy build test
+ci: fmt clippy build test artifacts
 
 # Formatting check (apply with `just fmt-fix`).
 fmt:
@@ -22,11 +26,21 @@ build:
 test:
     cargo test -q
 
-# Regenerate every paper artifact at full (scaled) size.
+# Run all 11 binaries at smoke scale with --json and collect the
+# machine-readable artifacts under target/artifacts/ (what CI uploads).
 artifacts:
-    for bin in table1 table3 table4 table5 fig11 fig13 fig14 fig15 fig16 fig17 ablation; do \
-        cargo run --release -q -p neura_bench --bin $bin; \
+    for bin in {{bins}}; do \
+        NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin $bin -- --json || exit 1; \
     done
+    ls -l target/artifacts/
+
+# Regenerate every paper artifact at full (scaled) size, with strict
+# golden checks against the pinned headline numbers. Slow.
+artifacts-paper:
+    for bin in {{bins}}; do \
+        cargo run --release -q -p neura_bench --bin $bin -- --json || exit 1; \
+    done
+    ls -l target/artifacts/
 
 # Criterion micro-benchmarks (stubbed offline: single-pass wall-clock timing).
 bench:

@@ -1,6 +1,7 @@
 //! Umbrella crate: re-exports the NeuraChip reproduction workspace crates for examples and integration tests.
 pub use neura_baselines as baselines;
 pub use neura_chip as chip;
+pub use neura_lab as lab;
 pub use neura_mem as mem;
 pub use neura_noc as noc;
 pub use neura_sim as sim;
