@@ -10,11 +10,12 @@
 use neura_bench::{fmt, print_table, scaled_matrix_by_name};
 use neura_chip::accelerator::Accelerator;
 use neura_chip::config::ChipConfig;
-use neura_lab::golden::slugify;
+use neura_lab::golden::{self, slugify};
 use neura_lab::{ArtifactSession, ExperimentSpec, RunRecord, Runner, SweepGrid};
 
 fn main() {
-    let mut session = ArtifactSession::from_args("fig14", neura_bench::scale_multiplier());
+    let scale_mult = neura_bench::scale_multiplier();
+    let mut session = ArtifactSession::from_args("fig14", scale_mult);
     let a = scaled_matrix_by_name("cora", 4);
 
     let spec = ExperimentSpec::new(
@@ -59,5 +60,7 @@ fn main() {
          trade higher per-instruction latency for fewer instructions; MMH4 balances the two."
     );
 
-    session.finish();
+    let artifact = session.finish();
+    golden::check(&artifact, golden::fig14_goldens(), golden::Mode::from_scale_mult(scale_mult))
+        .print_and_enforce("Figure 14");
 }

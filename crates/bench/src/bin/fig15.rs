@@ -8,11 +8,12 @@
 use neura_bench::{fmt, print_table, scaled_matrix_by_name};
 use neura_chip::accelerator::Accelerator;
 use neura_chip::config::{ChipConfig, EvictionPolicy};
-use neura_lab::golden::slugify;
+use neura_lab::golden::{self, slugify};
 use neura_lab::{ArtifactSession, ExperimentSpec, RunRecord, Runner, SweepGrid};
 
 fn main() {
-    let mut session = ArtifactSession::from_args("fig15", neura_bench::scale_multiplier());
+    let scale_mult = neura_bench::scale_multiplier();
+    let mut session = ArtifactSession::from_args("fig15", scale_mult);
     let a = scaled_matrix_by_name("cora", 4);
 
     // The HashPad is scaled down with the dataset (the full 2048-line pad of
@@ -80,5 +81,7 @@ fn main() {
          keeps partial products resident for far fewer cycles and avoids pad-full stalls."
     );
 
-    session.finish();
+    let artifact = session.finish();
+    golden::check(&artifact, golden::fig15_goldens(), golden::Mode::from_scale_mult(scale_mult))
+        .print_and_enforce("Figure 15");
 }

@@ -8,11 +8,12 @@
 //! for a machine-readable artifact).
 
 use neura_bench::{fmt, print_table, scaled_matrix, MODEL_SCALE};
-use neura_lab::{ArtifactSession, RunRecord, Runner};
+use neura_lab::{golden, ArtifactSession, RunRecord, Runner};
 use neura_sparse::{bloat, DatasetCatalog};
 
 fn main() {
-    let mut session = ArtifactSession::from_args("table1", neura_bench::scale_multiplier());
+    let scale_mult = neura_bench::scale_multiplier();
+    let mut session = ArtifactSession::from_args("table1", scale_mult);
 
     let datasets = DatasetCatalog::spgemm_suite();
     let analyses = Runner::from_env().run(&datasets, |_, dataset| {
@@ -63,5 +64,11 @@ fn main() {
          the bloat ordering across datasets is the quantity being reproduced."
     );
 
-    session.finish();
+    let artifact = session.finish();
+    golden::check_order(
+        &artifact,
+        &golden::table1_bloat_order(),
+        golden::Mode::from_scale_mult(scale_mult),
+    )
+    .print_and_enforce("Table 1");
 }

@@ -45,6 +45,24 @@ pub fn scaled_matrix_by_name(name: &str, scale: usize) -> CsrMatrix {
     scaled_matrix(&dataset, scale)
 }
 
+/// Generates a dataset's cycle-simulator matrix at a reduced tuning
+/// fidelity (see `neura_lab::tune`).
+///
+/// Full fidelity (`shrink == 1`) targets the node band the cycle-level
+/// figure binaries simulate: [`SIM_SCALE`] down-scaling, capped at ~2000
+/// nodes like `fig16` and floored at 256 nodes so even the smallest
+/// analogs leave the halving ladder room to climb. `shrink` then divides
+/// that target, so every rung of a tuner really simulates a smaller graph
+/// — down to the generator's 32-node floor, which a large
+/// [`scale_multiplier`] (smoke runs) reaches at every shrink level.
+pub fn sim_matrix_at_fidelity(name: &str, shrink: usize) -> CsrMatrix {
+    let dataset = neura_sparse::DatasetCatalog::by_name(name)
+        .unwrap_or_else(|| panic!("dataset {name:?} is not in the catalog"));
+    let full_nodes = (dataset.nodes / SIM_SCALE).clamp(256, 2_000);
+    let target_nodes = (full_nodes / shrink.max(1)).max(32);
+    scaled_matrix(&dataset, (dataset.nodes / target_nodes).max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +88,18 @@ mod tests {
     #[should_panic(expected = "not in the catalog")]
     fn unknown_dataset_panics() {
         scaled_matrix_by_name("definitely-not-a-dataset", 4);
+    }
+
+    #[test]
+    fn fidelity_ladder_really_shrinks_when_unscaled() {
+        // Guarded like scale_multiplier_defaults_to_one: a smoke multiplier
+        // legitimately collapses every fidelity to the 32-node floor.
+        if std::env::var(SCALE_MULT_ENV).is_err() {
+            let full = sim_matrix_at_fidelity("cora", 1).rows();
+            let cheap = sim_matrix_at_fidelity("cora", 8).rows();
+            assert!(full > cheap, "shrink 8 must simulate a smaller graph ({full} vs {cheap})");
+            assert!(cheap >= 32);
+        }
     }
 
     #[test]

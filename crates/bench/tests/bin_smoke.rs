@@ -3,7 +3,7 @@
 //!
 //! Each binary is executed as a real subprocess (the exact artifact `cargo
 //! run` would launch) with [`neura_bench::SCALE_MULT_ENV`] set so the
-//! workloads shrink to seconds even in debug builds. All eleven binaries run
+//! workloads shrink to seconds even in debug builds. All twelve binaries run
 //! concurrently on the same `neura_lab::Runner` scoped-thread pool the
 //! binaries themselves use for their sweeps. Beyond exit status 0 and
 //! non-empty stdout, each binary's `--json` output must parse back through
@@ -21,7 +21,7 @@ use neura_lab::{parse_json, Artifact, Runner};
 const SMOKE_MULT: &str = "32";
 
 /// Every artifact binary, paired with the path Cargo built it at.
-const BINARIES: [(&str, &str); 11] = [
+const BINARIES: [(&str, &str); 12] = [
     ("table1", env!("CARGO_BIN_EXE_table1")),
     ("table3", env!("CARGO_BIN_EXE_table3")),
     ("table4", env!("CARGO_BIN_EXE_table4")),
@@ -33,16 +33,19 @@ const BINARIES: [(&str, &str); 11] = [
     ("fig16", env!("CARGO_BIN_EXE_fig16")),
     ("fig17", env!("CARGO_BIN_EXE_fig17")),
     ("ablation", env!("CARGO_BIN_EXE_ablation")),
+    ("tune", env!("CARGO_BIN_EXE_tune")),
 ];
 
 fn run_smoke(name: &str, exe: &str, json_dir: &Path) -> Result<(), String> {
     let json_path = json_dir.join(format!("{name}.json"));
-    let output = Command::new(exe)
-        .arg("--json")
-        .arg(&json_path)
-        .env(neura_bench::SCALE_MULT_ENV, SMOKE_MULT)
-        .output()
-        .map_err(|e| format!("failed to spawn ({exe}): {e}"))?;
+    let mut command = Command::new(exe);
+    command.arg("--json").arg(&json_path).env(neura_bench::SCALE_MULT_ENV, SMOKE_MULT);
+    if name == "tune" {
+        // Tuning all twenty datasets is a `just tune` job, not a smoke test;
+        // one dataset proves the binary and its artifact schema end to end.
+        command.args(["--dataset", "cora"]);
+    }
+    let output = command.output().map_err(|e| format!("failed to spawn ({exe}): {e}"))?;
     if !output.status.success() {
         return Err(format!(
             "exited with {:?}\nstderr:\n{}",
@@ -74,10 +77,23 @@ fn run_smoke(name: &str, exe: &str, json_dir: &Path) -> Result<(), String> {
             return Err(format!("record {:?} has no metrics", record.id));
         }
     }
+    if name == "tune" {
+        let best = artifact
+            .records
+            .iter()
+            .find(|r| r.id.ends_with("/best_config"))
+            .ok_or("tuner artifact has no best_config record")?;
+        if best.metric_value("objective_score").is_none() {
+            return Err("best_config record lacks an objective_score metric".to_string());
+        }
+        if best.metric_value("improvement_vs_default").unwrap_or(0.0) < 1.0 {
+            return Err("best_config is worse than the paper default".to_string());
+        }
+    }
     Ok(())
 }
 
-/// All eleven binaries, in parallel, through the lab runner.
+/// All twelve binaries, in parallel, through the lab runner.
 #[test]
 fn all_binaries_run_and_emit_parseable_artifacts() {
     let json_dir = std::env::temp_dir().join(format!("neura_bench_smoke_{}", std::process::id()));

@@ -1,6 +1,7 @@
 //! NeuraChip configurations (Tables 2 and 3 of the paper).
 
 use crate::mapping::MappingKind;
+pub use neura_mem::HbmPreset;
 use neura_mem::HbmTiming;
 use serde::{Deserialize, Serialize};
 
@@ -246,6 +247,67 @@ impl ChipConfig {
         self
     }
 
+    /// Overrides the NeuraCore count per tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn with_cores_per_tile(mut self, cores: usize) -> Self {
+        assert!(cores >= 1, "a tile needs at least one NeuraCore");
+        self.cores_per_tile = cores;
+        self
+    }
+
+    /// Overrides the NeuraMem count per tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mems` is zero.
+    pub fn with_mems_per_tile(mut self, mems: usize) -> Self {
+        assert!(mems >= 1, "a tile needs at least one NeuraMem");
+        self.mems_per_tile = mems;
+        self
+    }
+
+    /// Overrides the router packet-buffer capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero (a router must buffer at least one packet).
+    pub fn with_router_buffer(mut self, slots: usize) -> Self {
+        assert!(slots >= 1, "router buffer needs at least one slot");
+        self.router_buffer = slots;
+        self
+    }
+
+    /// Overrides the memory-controller queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn with_mem_queue_capacity(mut self, slots: usize) -> Self {
+        assert!(slots >= 1, "memory queue needs at least one slot");
+        self.mem_queue_capacity = slots;
+        self
+    }
+
+    /// Overrides the clock frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not finite and positive.
+    pub fn with_frequency_ghz(mut self, ghz: f64) -> Self {
+        assert!(ghz.is_finite() && ghz > 0.0, "frequency must be finite and positive");
+        self.frequency_ghz = ghz;
+        self
+    }
+
+    /// Overrides the HBM timing with a named preset.
+    pub fn with_hbm_preset(mut self, preset: HbmPreset) -> Self {
+        self.hbm = preset.timing();
+        self
+    }
+
     /// Total NeuraCores in the chip.
     pub fn total_cores(&self) -> usize {
         self.tiles * self.cores_per_tile
@@ -389,6 +451,30 @@ mod tests {
     #[should_panic(expected = "MMH tile height")]
     fn invalid_mmh_tile_rejected() {
         ChipConfig::tile_4().with_mmh_tile(3);
+    }
+
+    #[test]
+    fn structural_builders_override_the_new_axes() {
+        let cfg = ChipConfig::tile_16()
+            .with_cores_per_tile(8)
+            .with_mems_per_tile(2)
+            .with_router_buffer(32)
+            .with_mem_queue_capacity(128)
+            .with_frequency_ghz(1.5)
+            .with_hbm_preset(HbmPreset::Hbm2DualStack);
+        assert_eq!(cfg.cores_per_tile, 8);
+        assert_eq!(cfg.mems_per_tile, 2);
+        assert_eq!(cfg.router_buffer, 32);
+        assert_eq!(cfg.mem_queue_capacity, 128);
+        assert!((cfg.frequency_ghz - 1.5).abs() < 1e-12);
+        assert_eq!(cfg.hbm, HbmPreset::Hbm2DualStack.timing());
+        assert_eq!(cfg.total_cores(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_frequency_rejected() {
+        ChipConfig::tile_16().with_frequency_ghz(0.0);
     }
 
     #[test]

@@ -24,9 +24,16 @@
 //!    artifacts for tests and downstream tooling.
 //! 4. **[`golden`]** — check it. Tolerance-checked comparison of emitted
 //!    metrics against checked-in expected values for the paper's headline
-//!    numbers (Table 5 throughput, Figure 16/17 speedup means), strict at
-//!    paper scale and relaxed to presence checks under
-//!    [`SCALE_MULT_ENV`] smoke shrinking.
+//!    numbers (Table 5 throughput, Figure 16/17 speedup means, Table 1
+//!    bloat ordering, Figure 14/15 histogram means), strict at paper scale
+//!    and relaxed to presence checks under [`SCALE_MULT_ENV`] smoke
+//!    shrinking.
+//!
+//! On top of the sweep machinery sits **[`tune`]** — a successive-halving
+//! auto-tuner that *searches* the `ChipConfig` space instead of replaying
+//! published design points: coarse grid in, per-rung halving at increasing
+//! fidelity, and a `best_config` artifact that is never worse than the
+//! paper default on the chosen objective.
 //!
 //! Binaries tie the stages together with an [`ArtifactSession`], which owns
 //! the `--json [path]` command-line contract:
@@ -45,10 +52,12 @@ pub mod golden;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod tune;
 
 pub use report::{fmt, parse_json, print_table, Artifact, JsonValue, Metric, RunRecord};
 pub use runner::Runner;
 pub use spec::{ExperimentSpec, SweepGrid, SweepPoint};
+pub use tune::{Objective, TuneOutcome, TuneSpec, Tuner};
 
 use std::path::PathBuf;
 

@@ -2,15 +2,17 @@
 //! [`ChipConfig`] design space and the datasets it runs on.
 //!
 //! A [`SweepGrid`] names the axes being varied (compute mapping, eviction
-//! policy, MMH tile height, HashPad size, tile size, dataset); an
-//! [`ExperimentSpec`] pairs a grid with a base configuration and a name.
+//! policy, MMH tile height, HashPad size, tile size, dataset, plus the
+//! scaling axes: core/mem counts per tile, router buffering, memory-queue
+//! depth, clock frequency and HBM timing preset); an [`ExperimentSpec`]
+//! pairs a grid with a base configuration and a name.
 //! [`ExperimentSpec::points`] enumerates the full cartesian product in a
 //! stable, documented order, assigning each point a stable human-readable
 //! run ID and a seed derived from that ID — so the same spec always produces
 //! the same points with the same seeds, regardless of how (or on how many
 //! threads) it is executed.
 
-use neura_chip::config::{ChipConfig, EvictionPolicy, TileSize};
+use neura_chip::config::{ChipConfig, EvictionPolicy, HbmPreset, TileSize};
 use neura_chip::mapping::MappingKind;
 
 /// The axes of a cartesian sweep. An empty axis means "hold the base
@@ -32,6 +34,18 @@ pub struct SweepGrid {
     pub mmh_tiles: Vec<u8>,
     /// HashPad sizes (hash-lines per NeuraMem) to sweep.
     pub hashlines: Vec<usize>,
+    /// NeuraCore counts per tile to sweep.
+    pub cores_per_tile: Vec<usize>,
+    /// NeuraMem counts per tile to sweep.
+    pub mems_per_tile: Vec<usize>,
+    /// Router packet-buffer capacities to sweep.
+    pub router_buffers: Vec<usize>,
+    /// Memory-controller queue capacities to sweep.
+    pub mem_queue_capacities: Vec<usize>,
+    /// Clock frequencies (GHz) to sweep.
+    pub frequencies_ghz: Vec<f64>,
+    /// HBM timing presets to sweep.
+    pub hbm_presets: Vec<HbmPreset>,
 }
 
 impl SweepGrid {
@@ -76,6 +90,42 @@ impl SweepGrid {
         self
     }
 
+    /// Sets the NeuraCores-per-tile axis (builder style).
+    pub fn cores_per_tile(mut self, cores: impl IntoIterator<Item = usize>) -> Self {
+        self.cores_per_tile = cores.into_iter().collect();
+        self
+    }
+
+    /// Sets the NeuraMems-per-tile axis (builder style).
+    pub fn mems_per_tile(mut self, mems: impl IntoIterator<Item = usize>) -> Self {
+        self.mems_per_tile = mems.into_iter().collect();
+        self
+    }
+
+    /// Sets the router packet-buffer axis (builder style).
+    pub fn router_buffers(mut self, slots: impl IntoIterator<Item = usize>) -> Self {
+        self.router_buffers = slots.into_iter().collect();
+        self
+    }
+
+    /// Sets the memory-controller queue-capacity axis (builder style).
+    pub fn mem_queue_capacities(mut self, slots: impl IntoIterator<Item = usize>) -> Self {
+        self.mem_queue_capacities = slots.into_iter().collect();
+        self
+    }
+
+    /// Sets the clock-frequency axis in GHz (builder style).
+    pub fn frequencies_ghz(mut self, ghz: impl IntoIterator<Item = f64>) -> Self {
+        self.frequencies_ghz = ghz.into_iter().collect();
+        self
+    }
+
+    /// Sets the HBM timing-preset axis (builder style).
+    pub fn hbm_presets(mut self, presets: impl IntoIterator<Item = HbmPreset>) -> Self {
+        self.hbm_presets = presets.into_iter().collect();
+        self
+    }
+
     /// Number of points the grid enumerates (product of non-empty axis
     /// lengths).
     pub fn len(&self) -> usize {
@@ -86,6 +136,12 @@ impl SweepGrid {
             self.evictions.len(),
             self.mmh_tiles.len(),
             self.hashlines.len(),
+            self.cores_per_tile.len(),
+            self.mems_per_tile.len(),
+            self.router_buffers.len(),
+            self.mem_queue_capacities.len(),
+            self.frequencies_ghz.len(),
+            self.hbm_presets.len(),
         ]
         .iter()
         .map(|&n| n.max(1))
@@ -125,9 +181,21 @@ impl SweepPoint {
         params.push(("eviction".to_string(), eviction_name(self.config.eviction).to_string()));
         params.push(("mmh_tile".to_string(), self.config.mmh_tile.to_string()));
         params.push(("hashlines".to_string(), self.config.mem.hashlines.to_string()));
+        params.push(("cores_per_tile".to_string(), self.config.cores_per_tile.to_string()));
+        params.push(("mems_per_tile".to_string(), self.config.mems_per_tile.to_string()));
+        params.push(("router_buffer".to_string(), self.config.router_buffer.to_string()));
+        params.push(("mem_queue_capacity".to_string(), self.config.mem_queue_capacity.to_string()));
+        params.push(("frequency_ghz".to_string(), format!("{:?}", self.config.frequency_ghz)));
+        params.push(("hbm".to_string(), hbm_name(&self.config)));
         params.push(("seed".to_string(), self.config.seed.to_string()));
         params
     }
+}
+
+/// Name of a configuration's HBM timing: the preset name when the timing
+/// matches one, `"custom"` otherwise.
+fn hbm_name(config: &ChipConfig) -> String {
+    HbmPreset::of(&config.hbm).map(|p| p.name().to_string()).unwrap_or_else(|| "custom".into())
 }
 
 /// Lower-case name of an eviction policy, used in run IDs and params.
@@ -157,8 +225,9 @@ impl ExperimentSpec {
     }
 
     /// Enumerates every point of the cartesian product, in a stable order:
-    /// dataset-major, then tile size, mapping, eviction, MMH tile and
-    /// HashPad size (the last axis varies fastest).
+    /// dataset-major, then tile size, mapping, eviction, MMH tile, HashPad
+    /// size, cores per tile, mems per tile, router buffer, memory-queue
+    /// capacity, frequency and HBM preset (the last axis varies fastest).
     ///
     /// Run IDs name the spec, the dataset, and *only* the axes the grid
     /// actually sweeps (a one-point axis adds no ID segment), so IDs stay
@@ -174,11 +243,35 @@ impl ExperimentSpec {
         } else {
             self.grid.datasets.iter().map(|d| Some(d.as_str())).collect()
         };
+        // The eleven config axes, each lifted to "None = hold the base value".
         let tile_sizes: Vec<Option<TileSize>> = axis(&self.grid.tile_sizes);
         let mappings: Vec<Option<MappingKind>> = axis(&self.grid.mappings);
         let evictions: Vec<Option<EvictionPolicy>> = axis(&self.grid.evictions);
         let mmh_tiles: Vec<Option<u8>> = axis(&self.grid.mmh_tiles);
         let hashlines: Vec<Option<usize>> = axis(&self.grid.hashlines);
+        let cores: Vec<Option<usize>> = axis(&self.grid.cores_per_tile);
+        let mems: Vec<Option<usize>> = axis(&self.grid.mems_per_tile);
+        let router_buffers: Vec<Option<usize>> = axis(&self.grid.router_buffers);
+        let mem_queues: Vec<Option<usize>> = axis(&self.grid.mem_queue_capacities);
+        let frequencies: Vec<Option<f64>> = axis(&self.grid.frequencies_ghz);
+        let hbm_presets: Vec<Option<HbmPreset>> = axis(&self.grid.hbm_presets);
+
+        // Mixed-radix decode over the config axes (slowest axis first, last
+        // axis varies fastest) — twelve nested loops written as one.
+        let radices = [
+            tile_sizes.len(),
+            mappings.len(),
+            evictions.len(),
+            mmh_tiles.len(),
+            hashlines.len(),
+            cores.len(),
+            mems.len(),
+            router_buffers.len(),
+            mem_queues.len(),
+            frequencies.len(),
+            hbm_presets.len(),
+        ];
+        let combos: usize = radices.iter().product();
 
         let mut points = Vec::with_capacity(self.grid.len());
         for dataset in &datasets {
@@ -188,71 +281,124 @@ impl ExperimentSpec {
                 seed_scope.push_str(d);
             }
             let seed = derive_seed(self.base.seed, &seed_scope);
-            for &tile_size in &tile_sizes {
-                for &mapping in &mappings {
-                    for &eviction in &evictions {
-                        for &mmh_tile in &mmh_tiles {
-                            for &lines in &hashlines {
-                                let mut config = match tile_size {
-                                    Some(t) => {
-                                        // Preserve non-structural base overrides
-                                        // when sweeping the tile size.
-                                        ChipConfig::for_tile_size(t)
-                                            .with_mapping(self.base.mapping)
-                                            .with_eviction(self.base.eviction)
-                                            .with_mmh_tile(self.base.mmh_tile)
-                                            .with_seed(self.base.seed)
-                                    }
-                                    None => self.base.clone(),
-                                };
-                                if let Some(m) = mapping {
-                                    config.mapping = m;
-                                }
-                                if let Some(e) = eviction {
-                                    config.eviction = e;
-                                }
-                                if let Some(t) = mmh_tile {
-                                    config = config.with_mmh_tile(t);
-                                }
-                                if let Some(h) = lines {
-                                    config.mem.hashlines = h;
-                                }
-
-                                let mut id = self.name.clone();
-                                if let Some(d) = dataset {
-                                    id.push('/');
-                                    id.push_str(d);
-                                }
-                                if tile_size.is_some() {
-                                    id.push('/');
-                                    id.push_str(config.tile_size.name());
-                                }
-                                if mapping.is_some() {
-                                    id.push('/');
-                                    id.push_str(config.mapping.name());
-                                }
-                                if eviction.is_some() {
-                                    id.push('/');
-                                    id.push_str(eviction_name(config.eviction));
-                                }
-                                if mmh_tile.is_some() {
-                                    id.push_str(&format!("/mmh{}", config.mmh_tile));
-                                }
-                                if lines.is_some() {
-                                    id.push_str(&format!("/hl{}", config.mem.hashlines));
-                                }
-
-                                config.seed = seed;
-                                points.push(SweepPoint {
-                                    index: points.len(),
-                                    id,
-                                    dataset: dataset.map(str::to_string),
-                                    config,
-                                });
-                            }
-                        }
-                    }
+            for lin in 0..combos {
+                let mut idx = [0usize; 11];
+                let mut rem = lin;
+                for k in (0..radices.len()).rev() {
+                    idx[k] = rem % radices[k];
+                    rem /= radices[k];
                 }
+                let tile_size = tile_sizes[idx[0]];
+                let mapping = mappings[idx[1]];
+                let eviction = evictions[idx[2]];
+                let mmh_tile = mmh_tiles[idx[3]];
+                let lines = hashlines[idx[4]];
+                let core_count = cores[idx[5]];
+                let mem_count = mems[idx[6]];
+                let router_buffer = router_buffers[idx[7]];
+                let mem_queue = mem_queues[idx[8]];
+                let frequency = frequencies[idx[9]];
+                let hbm = hbm_presets[idx[10]];
+
+                let mut config = match tile_size {
+                    Some(t) => {
+                        // Preserve non-structural base overrides when
+                        // sweeping the tile size.
+                        ChipConfig::for_tile_size(t)
+                            .with_mapping(self.base.mapping)
+                            .with_eviction(self.base.eviction)
+                            .with_mmh_tile(self.base.mmh_tile)
+                            .with_router_buffer(self.base.router_buffer)
+                            .with_mem_queue_capacity(self.base.mem_queue_capacity)
+                            .with_frequency_ghz(self.base.frequency_ghz)
+                            .with_seed(self.base.seed)
+                    }
+                    None => self.base.clone(),
+                };
+                if tile_size.is_some() {
+                    config.hbm = self.base.hbm;
+                }
+                if let Some(m) = mapping {
+                    config.mapping = m;
+                }
+                if let Some(e) = eviction {
+                    config.eviction = e;
+                }
+                if let Some(t) = mmh_tile {
+                    config = config.with_mmh_tile(t);
+                }
+                if let Some(h) = lines {
+                    config.mem.hashlines = h;
+                }
+                if let Some(c) = core_count {
+                    config = config.with_cores_per_tile(c);
+                }
+                if let Some(m) = mem_count {
+                    config = config.with_mems_per_tile(m);
+                }
+                if let Some(rb) = router_buffer {
+                    config = config.with_router_buffer(rb);
+                }
+                if let Some(mq) = mem_queue {
+                    config = config.with_mem_queue_capacity(mq);
+                }
+                if let Some(f) = frequency {
+                    config = config.with_frequency_ghz(f);
+                }
+                if let Some(p) = hbm {
+                    config = config.with_hbm_preset(p);
+                }
+
+                let mut id = self.name.clone();
+                if let Some(d) = dataset {
+                    id.push('/');
+                    id.push_str(d);
+                }
+                if tile_size.is_some() {
+                    id.push('/');
+                    id.push_str(config.tile_size.name());
+                }
+                if mapping.is_some() {
+                    id.push('/');
+                    id.push_str(config.mapping.name());
+                }
+                if eviction.is_some() {
+                    id.push('/');
+                    id.push_str(eviction_name(config.eviction));
+                }
+                if mmh_tile.is_some() {
+                    id.push_str(&format!("/mmh{}", config.mmh_tile));
+                }
+                if lines.is_some() {
+                    id.push_str(&format!("/hl{}", config.mem.hashlines));
+                }
+                if core_count.is_some() {
+                    id.push_str(&format!("/c{}", config.cores_per_tile));
+                }
+                if mem_count.is_some() {
+                    id.push_str(&format!("/m{}", config.mems_per_tile));
+                }
+                if router_buffer.is_some() {
+                    id.push_str(&format!("/rb{}", config.router_buffer));
+                }
+                if mem_queue.is_some() {
+                    id.push_str(&format!("/mq{}", config.mem_queue_capacity));
+                }
+                if frequency.is_some() {
+                    id.push_str(&format!("/f{:?}", config.frequency_ghz));
+                }
+                if let Some(p) = hbm {
+                    id.push('/');
+                    id.push_str(p.name());
+                }
+
+                config.seed = seed;
+                points.push(SweepPoint {
+                    index: points.len(),
+                    id,
+                    dataset: dataset.map(str::to_string),
+                    config,
+                });
             }
         }
         points
@@ -349,6 +495,60 @@ mod tests {
         assert_ne!(points[0].config.seed, points[1].config.seed);
         let other = ExperimentSpec::new("t", ChipConfig::tile_16(), grid).points();
         assert_ne!(points[0].config.seed, other[0].config.seed);
+    }
+
+    #[test]
+    fn extended_axes_reach_the_config_and_the_id() {
+        let spec = ExperimentSpec::new(
+            "scale",
+            ChipConfig::tile_16(),
+            SweepGrid::new()
+                .cores_per_tile([4, 8])
+                .mems_per_tile([4])
+                .router_buffers([8, 16])
+                .mem_queue_capacities([64])
+                .frequencies_ghz([1.0, 1.5])
+                .hbm_presets([HbmPreset::Hbm2, HbmPreset::Hbm2DualStack]),
+        );
+        let points = spec.points();
+        assert_eq!(points.len(), 16);
+        assert_eq!(points[0].id, "scale/c4/m4/rb8/mq64/f1.0/hbm2");
+        assert_eq!(points[15].id, "scale/c8/m4/rb16/mq64/f1.5/hbm2-dual");
+        let last = &points[15].config;
+        assert_eq!(last.cores_per_tile, 8);
+        assert_eq!(last.router_buffer, 16);
+        assert!((last.frequency_ghz - 1.5).abs() < 1e-12);
+        assert_eq!(last.hbm, HbmPreset::Hbm2DualStack.timing());
+    }
+
+    #[test]
+    fn tile_size_axis_preserves_non_structural_scaling_overrides() {
+        let base = ChipConfig::tile_16()
+            .with_router_buffer(32)
+            .with_mem_queue_capacity(128)
+            .with_frequency_ghz(1.25)
+            .with_hbm_preset(HbmPreset::Hbm2DualStack);
+        let spec = ExperimentSpec::new("t", base, SweepGrid::new().tile_sizes(TileSize::ALL));
+        for point in spec.points() {
+            assert_eq!(point.config.router_buffer, 32);
+            assert_eq!(point.config.mem_queue_capacity, 128);
+            assert!((point.config.frequency_ghz - 1.25).abs() < 1e-12);
+            assert_eq!(point.config.hbm, HbmPreset::Hbm2DualStack.timing());
+        }
+    }
+
+    #[test]
+    fn params_name_the_extended_axes() {
+        let point = &ExperimentSpec::new(
+            "s",
+            ChipConfig::tile_16(),
+            SweepGrid::new().hbm_presets([HbmPreset::Ddr4]),
+        )
+        .points()[0];
+        let params = point.params();
+        assert!(params.contains(&("cores_per_tile".into(), "4".into())));
+        assert!(params.contains(&("frequency_ghz".into(), "1.0".into())));
+        assert!(params.contains(&("hbm".into(), "ddr4".into())));
     }
 
     #[test]

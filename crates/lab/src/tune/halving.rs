@@ -1,0 +1,429 @@
+//! The successive-halving engine and its machine-readable outcome.
+
+use neura_chip::accelerator::ExecutionReport;
+use neura_chip::config::ChipConfig;
+
+use crate::report::RunRecord;
+use crate::runner::Runner;
+use crate::spec::{ExperimentSpec, SweepGrid, SweepPoint};
+use crate::tune::Objective;
+
+/// Largest workload-shrink factor an early rung may use. Deeper ladders
+/// reuse this cheapest fidelity rather than shrinking further (tiny graphs
+/// stop discriminating between configurations well before 1/8 scale).
+const MAX_SHRINK: usize = 8;
+
+/// A declarative tuning problem: what to search, over which grid, for which
+/// objective, within which budget.
+#[derive(Debug, Clone)]
+pub struct TuneSpec {
+    /// Tuner name; the leading component of every run ID.
+    pub name: String,
+    /// The paper-default (baseline) configuration. Axes the grid leaves
+    /// empty hold this configuration's values.
+    pub base: ChipConfig,
+    /// The coarse grid to search. At most one dataset (the tuner optimises
+    /// one workload at a time; run one tuner per dataset for a suite).
+    pub grid: SweepGrid,
+    /// The quantity to minimise.
+    pub objective: Objective,
+    /// Maximum total evaluations across all rungs. Rung 0 (the full grid)
+    /// always runs; later rungs are dropped once the budget is exhausted.
+    pub budget: usize,
+    /// Fraction of each rung that survives into the next (exclusive 0..1).
+    pub keep: f64,
+}
+
+impl TuneSpec {
+    /// Creates a spec with an unlimited budget and the canonical halving
+    /// fraction (`keep = 0.5`).
+    pub fn new(
+        name: impl Into<String>,
+        base: ChipConfig,
+        grid: SweepGrid,
+        objective: Objective,
+    ) -> Self {
+        TuneSpec { name: name.into(), base, grid, objective, budget: usize::MAX, keep: 0.5 }
+    }
+
+    /// Caps the total evaluation count (builder style).
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the survivor fraction (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < keep < 1`.
+    pub fn with_keep(mut self, keep: f64) -> Self {
+        assert!(keep > 0.0 && keep < 1.0, "keep fraction must be in (0, 1)");
+        self.keep = keep;
+        self
+    }
+}
+
+/// One planned rung: how many candidates it evaluates and at what fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RungPlan {
+    /// Rung number (0 = full grid, cheapest fidelity).
+    pub index: usize,
+    /// Number of candidates this rung evaluates.
+    pub size: usize,
+    /// Extra workload-shrink factor (1 = full fidelity). The full halving
+    /// ladder ends at shrink 1 and doubles backwards, with rungs beyond
+    /// [`MAX_SHRINK`] doublings from the end sharing the cheapest shrink;
+    /// a budget-truncated ladder keeps the shrinks the full ladder
+    /// assigned, so its last executed rung may be > 1.
+    pub shrink: usize,
+}
+
+/// What actually happened in one executed rung.
+#[derive(Debug, Clone)]
+pub struct RungTrace {
+    /// Rung number.
+    pub index: usize,
+    /// Shrink factor the rung ran at.
+    pub shrink: usize,
+    /// Candidates evaluated.
+    pub evaluated: usize,
+    /// Indices (into [`Tuner::points`]) of the survivors, best score first.
+    pub survivors: Vec<usize>,
+    /// Index of the rung's best point.
+    pub best_index: usize,
+    /// The rung's best score.
+    pub best_score: f64,
+}
+
+/// The result of a tuner run: the grid winner, the baseline comparison and
+/// the full per-rung provenance, plus the artifact records describing all
+/// of it.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// The objective the run minimised.
+    pub objective: Objective,
+    /// Best grid point at the final rung's fidelity.
+    pub winner: SweepPoint,
+    /// The winner's score at full (final-rung) fidelity.
+    pub winner_score: f64,
+    /// The paper-default configuration, evaluated at the same fidelity.
+    pub baseline: SweepPoint,
+    /// The baseline's score.
+    pub baseline_score: f64,
+    /// Whichever of winner/baseline scores better — by construction never
+    /// worse than the paper default on the objective.
+    pub best: SweepPoint,
+    /// The best configuration's score.
+    pub best_score: f64,
+    /// Executed rungs, in order.
+    pub rungs: Vec<RungTrace>,
+    /// Total evaluations spent (including the baseline run).
+    pub evaluations: usize,
+    records: Vec<RunRecord>,
+}
+
+impl TuneOutcome {
+    /// The artifact records describing this run: one per evaluation, one
+    /// summary per rung, one for the baseline and one `best_config` record.
+    /// Deterministically ordered, so artifacts built from them are
+    /// byte-identical across thread counts.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// How much better the best configuration is than the paper default on
+    /// the objective (`baseline_score / best_score`, ≥ 1). For the
+    /// [`Objective::Speedup`] objective this *is* the speedup factor.
+    pub fn improvement_vs_default(&self) -> f64 {
+        improvement(self.baseline_score, self.best_score)
+    }
+}
+
+/// Improvement factor of a best score over the baseline (both
+/// lower-is-better). The single definition behind both the
+/// `improvement_vs_default` artifact metric and
+/// [`TuneOutcome::improvement_vs_default`].
+fn improvement(baseline_score: f64, best_score: f64) -> f64 {
+    if best_score > 0.0 {
+        baseline_score / best_score
+    } else {
+        1.0
+    }
+}
+
+/// The successive-halving tuner: an enumerated grid plus a rung plan.
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    spec: TuneSpec,
+    points: Vec<SweepPoint>,
+    plan: Vec<RungPlan>,
+}
+
+impl Tuner {
+    /// Enumerates the grid and plans the rung ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the grid sweeps more than one dataset (the baseline
+    /// comparison would be ambiguous; run one tuner per dataset).
+    pub fn new(spec: TuneSpec) -> Self {
+        assert!(
+            spec.grid.datasets.len() <= 1,
+            "a tuner optimises one dataset at a time (grid sweeps {})",
+            spec.grid.datasets.len()
+        );
+        let experiment =
+            ExperimentSpec::new(spec.name.clone(), spec.base.clone(), spec.grid.clone());
+        let points = experiment.points();
+        let plan = plan_rungs(points.len(), spec.keep, spec.budget);
+        Tuner { spec, points, plan }
+    }
+
+    /// The spec this tuner was built from.
+    pub fn spec(&self) -> &TuneSpec {
+        &self.spec
+    }
+
+    /// Every point of the original grid, in enumeration order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// The planned rung ladder (sizes strictly decreasing; the final rung
+    /// has shrink 1 unless the budget truncated the ladder early).
+    pub fn plan(&self) -> &[RungPlan] {
+        &self.plan
+    }
+
+    /// The distinct shrink factors the plan uses, ascending — callers can
+    /// pre-generate one workload per fidelity before running.
+    pub fn shrinks(&self) -> Vec<usize> {
+        let mut shrinks: Vec<usize> = self.plan.iter().map(|r| r.shrink).collect();
+        shrinks.sort_unstable();
+        shrinks.dedup();
+        shrinks
+    }
+
+    /// Runs the halving ladder. `eval` simulates one point at the given
+    /// shrink factor and must be deterministic in `(point, shrink)`.
+    pub fn run<F>(&self, runner: &Runner, eval: F) -> TuneOutcome
+    where
+        F: Fn(&SweepPoint, usize) -> ExecutionReport + Sync,
+    {
+        let objective = self.spec.objective;
+        let scope = self.scope();
+        let mut candidates: Vec<usize> = (0..self.points.len()).collect();
+        let mut records = Vec::new();
+        let mut rungs: Vec<RungTrace> = Vec::new();
+        let mut evaluations = 0usize;
+
+        for (step, plan) in self.plan.iter().enumerate() {
+            let selected: Vec<&SweepPoint> = candidates.iter().map(|&i| &self.points[i]).collect();
+            let reports = runner.run(&selected, |_, point| eval(point, plan.shrink));
+            evaluations += selected.len();
+
+            // Score and record each evaluation, then rank: ascending score,
+            // point index breaking ties so the ranking is a pure function of
+            // the scores.
+            let mut ranked: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
+            for (&index, report) in candidates.iter().zip(&reports) {
+                let point = &self.points[index];
+                let score = objective.score(&point.config, report);
+                ranked.push((index, score));
+                let mut record = RunRecord::new(format!("{}/rung{}", point.id, plan.index))
+                    .with_execution(report)
+                    .unit_metric("objective_score", score, objective.unit());
+                record.params = point.params();
+                record.params.push(("rung".into(), plan.index.to_string()));
+                record.params.push(("shrink".into(), plan.shrink.to_string()));
+                records.push(record);
+            }
+            ranked.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            });
+
+            let next_size = self.plan.get(step + 1).map(|p| p.size).unwrap_or(1);
+            let survivors: Vec<usize> =
+                ranked.iter().take(next_size.min(ranked.len())).map(|&(i, _)| i).collect();
+            let (best_index, best_score) = ranked[0];
+
+            let mut summary = RunRecord::new(format!("{scope}/rung{}/summary", plan.index))
+                .metric("evaluated", selected.len() as f64)
+                .metric("survivors", survivors.len() as f64)
+                .metric("shrink", plan.shrink as f64)
+                .unit_metric("best_score", best_score, objective.unit());
+            summary.params.push(("best".into(), self.points[best_index].id.clone()));
+            summary.params.push(("objective".into(), objective.name().into()));
+            records.push(summary);
+
+            rungs.push(RungTrace {
+                index: plan.index,
+                shrink: plan.shrink,
+                evaluated: selected.len(),
+                survivors: survivors.clone(),
+                best_index,
+                best_score,
+            });
+            candidates = survivors;
+        }
+
+        let last = rungs.last().expect("at least one rung always runs");
+        let final_shrink = last.shrink;
+        let winner = self.points[last.best_index].clone();
+        let winner_score = last.best_score;
+
+        // Compare the winner against the paper default at the same fidelity.
+        let baseline = self.baseline_point(&scope);
+        let baseline_report = eval(&baseline, final_shrink);
+        let baseline_score = objective.score(&baseline.config, &baseline_report);
+        evaluations += 1;
+        let mut record = RunRecord::new(format!("{scope}/baseline"))
+            .with_execution(&baseline_report)
+            .unit_metric("objective_score", baseline_score, objective.unit());
+        record.params = baseline.params();
+        record.params.push(("shrink".into(), final_shrink.to_string()));
+        records.push(record);
+
+        let (best, best_score) = if winner_score <= baseline_score {
+            (winner.clone(), winner_score)
+        } else {
+            (baseline.clone(), baseline_score)
+        };
+
+        let mut best_record = RunRecord::new(format!("{scope}/best_config"))
+            .unit_metric("objective_score", best_score, objective.unit())
+            .unit_metric("baseline_score", baseline_score, objective.unit())
+            .metric("improvement_vs_default", improvement(baseline_score, best_score))
+            .metric("evaluations", evaluations as f64)
+            .metric("rungs", rungs.len() as f64)
+            .metric("grid_points", self.points.len() as f64);
+        best_record.params = best.params();
+        best_record.params.push(("best".into(), best.id.clone()));
+        best_record.params.push(("objective".into(), objective.name().into()));
+        records.push(best_record);
+
+        TuneOutcome {
+            objective,
+            winner,
+            winner_score,
+            baseline,
+            baseline_score,
+            best,
+            best_score,
+            rungs,
+            evaluations,
+            records,
+        }
+    }
+
+    /// The run-ID scope: the tuner name plus the dataset, when one is set.
+    fn scope(&self) -> String {
+        let mut scope = self.spec.name.clone();
+        if let Some(dataset) = self.spec.grid.datasets.first() {
+            scope.push('/');
+            scope.push_str(dataset);
+        }
+        scope
+    }
+
+    /// The paper-default configuration as a pseudo-point, carrying the same
+    /// derived seed as every grid point so the comparison is seed-fair.
+    fn baseline_point(&self, scope: &str) -> SweepPoint {
+        let mut config = self.spec.base.clone();
+        config.seed = self.points[0].config.seed;
+        SweepPoint {
+            index: self.points.len(),
+            id: format!("{scope}/baseline"),
+            dataset: self.spec.grid.datasets.first().cloned(),
+            config,
+        }
+    }
+}
+
+/// Plans the rung ladder: sizes shrink by `keep` per rung down to one
+/// survivor; fidelity doubles towards the end of that full ladder (its
+/// last rung runs at full scale, its earliest rungs share the
+/// [`MAX_SHRINK`] clamp). The ladder is then truncated to `budget` total
+/// evaluations — rung 0 always runs — and truncated rungs *keep* the
+/// shrink the full ladder assigned them, so a small budget buys a cheap
+/// low-fidelity search rather than silently degenerating to an expensive
+/// full-fidelity exhaustive pass.
+fn plan_rungs(grid_points: usize, keep: f64, budget: usize) -> Vec<RungPlan> {
+    let mut sizes = vec![grid_points.max(1)];
+    while *sizes.last().expect("non-empty") > 1 {
+        let current = *sizes.last().expect("non-empty");
+        let next = ((current as f64) * keep).ceil() as usize;
+        sizes.push(next.clamp(1, current - 1));
+    }
+
+    // Shrinks are assigned over the *full* ladder before any truncation.
+    let full = sizes.len();
+    let shrink_at = |index: usize| 1usize << (full - 1 - index).min(MAX_SHRINK.ilog2() as usize);
+
+    let mut kept = Vec::new();
+    let mut spent = 0usize;
+    for (index, &size) in sizes.iter().enumerate() {
+        if index > 0 && spent.saturating_add(size) > budget {
+            break;
+        }
+        kept.push(RungPlan { index, size, shrink: shrink_at(index) });
+        spent += size;
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_halves_to_one_and_ends_at_full_fidelity() {
+        let plan = plan_rungs(16, 0.5, usize::MAX);
+        let sizes: Vec<usize> = plan.iter().map(|r| r.size).collect();
+        assert_eq!(sizes, vec![16, 8, 4, 2, 1]);
+        let shrinks: Vec<usize> = plan.iter().map(|r| r.shrink).collect();
+        assert_eq!(shrinks, vec![8, 8, 4, 2, 1]);
+        assert!(plan.windows(2).all(|w| w[0].size > w[1].size));
+    }
+
+    #[test]
+    fn plan_respects_the_budget_but_always_runs_rung_zero() {
+        let plan = plan_rungs(16, 0.5, 25);
+        let sizes: Vec<usize> = plan.iter().map(|r| r.size).collect();
+        assert_eq!(sizes, vec![16, 8], "16 + 8 = 24 fits, + 4 would exceed 25");
+
+        // Truncated ladders keep the full ladder's cheap shrink factors —
+        // a smaller budget must never buy a more expensive run.
+        assert_eq!(plan.last().unwrap().shrink, 8, "truncation does not promote fidelity");
+        let tiny_budget = plan_rungs(16, 0.5, 3);
+        assert_eq!(tiny_budget.len(), 1, "rung 0 runs even over budget");
+        assert_eq!(tiny_budget[0].shrink, 8, "a budget-truncated rung 0 stays cheap");
+    }
+
+    #[test]
+    fn plan_for_one_point_is_a_single_full_fidelity_rung() {
+        assert_eq!(plan_rungs(1, 0.5, usize::MAX), vec![RungPlan { index: 0, size: 1, shrink: 1 }]);
+    }
+
+    #[test]
+    fn steeper_keep_fractions_cull_harder() {
+        let plan = plan_rungs(27, 1.0 / 3.0, usize::MAX);
+        let sizes: Vec<usize> = plan.iter().map(|r| r.size).collect();
+        assert_eq!(sizes, vec![27, 9, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one dataset at a time")]
+    fn multi_dataset_grids_are_rejected() {
+        let grid = SweepGrid::new().datasets(["cora", "facebook"]);
+        Tuner::new(TuneSpec::new("t", ChipConfig::tile_16(), grid, Objective::Cycles));
+    }
+
+    #[test]
+    #[should_panic(expected = "keep fraction")]
+    fn degenerate_keep_fraction_is_rejected() {
+        TuneSpec::new("t", ChipConfig::tile_16(), SweepGrid::new(), Objective::Cycles)
+            .with_keep(1.0);
+    }
+}

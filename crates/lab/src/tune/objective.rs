@@ -1,0 +1,124 @@
+//! Tuning objectives: how one simulated run is condensed to a single score.
+//!
+//! Scores are *lower-is-better* across all objectives so the halving loop
+//! never needs to know which direction an objective optimises. Speedup over
+//! the paper default is therefore scored as raw execution time (minimising
+//! time maximises speedup); the human-facing speedup factor is derived in
+//! the outcome's `best_config` record as `baseline_score / best_score`.
+
+use neura_chip::accelerator::ExecutionReport;
+use neura_chip::config::ChipConfig;
+use neura_chip::power::PowerModel;
+
+/// The quantity a [`Tuner`](crate::tune::Tuner) minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Total simulated cycles (frequency-independent).
+    Cycles,
+    /// Energy–delay product: average chip power × execution time², in J·s.
+    /// Penalises configurations that buy speed with disproportionate
+    /// silicon (the power model scales with core/mem/router counts and
+    /// HashPad capacity).
+    EnergyDelay,
+    /// Execution time, reported as speedup over the paper-default
+    /// configuration (`baseline_seconds / best_seconds`).
+    Speedup,
+}
+
+impl Objective {
+    /// All objectives, in documentation order.
+    pub const ALL: [Objective; 3] = [Objective::Cycles, Objective::EnergyDelay, Objective::Speedup];
+
+    /// Stable name used by the `--objective` flag and in artifact params.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::Cycles => "cycles",
+            Objective::EnergyDelay => "energy-delay",
+            Objective::Speedup => "speedup",
+        }
+    }
+
+    /// Unit of the score this objective produces.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            Objective::Cycles => "cycles",
+            Objective::EnergyDelay => "J*s",
+            Objective::Speedup => "s",
+        }
+    }
+
+    /// Parses a flag value (`"cycles"`, `"energy-delay"`/`"edp"`,
+    /// `"speedup"`).
+    pub fn parse(name: &str) -> Option<Objective> {
+        match name {
+            "cycles" => Some(Objective::Cycles),
+            "energy-delay" | "edp" => Some(Objective::EnergyDelay),
+            "speedup" => Some(Objective::Speedup),
+            _ => None,
+        }
+    }
+
+    /// Scores one run; lower is better for every objective. Non-finite
+    /// inputs score `+inf` so they can never win a rung.
+    pub fn score(&self, config: &ChipConfig, report: &ExecutionReport) -> f64 {
+        let score = match self {
+            Objective::Cycles => report.total_cycles as f64,
+            Objective::EnergyDelay => {
+                let power = PowerModel::calibrated().breakdown(config).total_power_w();
+                power * report.execution_seconds * report.execution_seconds
+            }
+            Objective::Speedup => report.execution_seconds,
+        };
+        if score.is_finite() {
+            score
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for objective in Objective::ALL {
+            assert_eq!(Objective::parse(objective.name()), Some(objective));
+        }
+        assert_eq!(Objective::parse("edp"), Some(Objective::EnergyDelay));
+        assert_eq!(Objective::parse("bogus"), None);
+    }
+
+    #[test]
+    fn energy_delay_penalises_bigger_chips_at_equal_time() {
+        let mut report = fake_report(1_000, 1e-6);
+        let small = ChipConfig::tile_16();
+        let big = ChipConfig::tile_16().with_cores_per_tile(16).with_mems_per_tile(16);
+        let objective = Objective::EnergyDelay;
+        assert!(objective.score(&big, &report) > objective.score(&small, &report));
+        // ... while cycles ignores the configuration entirely.
+        report.total_cycles = 999;
+        assert_eq!(Objective::Cycles.score(&big, &report), 999.0);
+    }
+
+    #[test]
+    fn non_finite_scores_become_infinity() {
+        let report = fake_report(10, f64::NAN);
+        assert_eq!(Objective::Speedup.score(&ChipConfig::tile_16(), &report), f64::INFINITY);
+    }
+
+    /// A report with only the fields the objectives read filled in.
+    fn fake_report(cycles: u64, seconds: f64) -> ExecutionReport {
+        let mut chip = neura_chip::accelerator::Accelerator::new(tiny_config());
+        let a = neura_sparse::gen::GraphGenerator::power_law(32, 64, 2.0, 1).generate().to_csr();
+        let mut report = chip.run_spgemm(&a, &a).expect("tiny sim drains").report;
+        report.total_cycles = cycles;
+        report.execution_seconds = seconds;
+        report
+    }
+
+    fn tiny_config() -> ChipConfig {
+        ChipConfig::tile_4()
+    }
+}

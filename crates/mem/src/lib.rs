@@ -47,4 +47,4 @@ pub use channel::Channel;
 pub use controller::{ControllerStats, MemoryController};
 pub use hbm::HbmStack;
 pub use request::{MemoryRequest, MemoryResponse, RequestId, RequestKind};
-pub use timing::HbmTiming;
+pub use timing::{HbmPreset, HbmTiming};

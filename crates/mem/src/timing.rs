@@ -81,6 +81,48 @@ impl Default for HbmTiming {
     }
 }
 
+/// The named [`HbmTiming`] configurations, so sweeps and tuners can treat
+/// the memory system as a discrete axis (a preset name) instead of eight
+/// free timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HbmPreset {
+    /// [`HbmTiming::hbm2`] — the paper's evaluated memory system.
+    Hbm2,
+    /// [`HbmTiming::hbm2_dual_stack`] — twice the per-channel bandwidth
+    /// (Table 5 footnote α).
+    Hbm2DualStack,
+    /// [`HbmTiming::ddr4`] — the CPU-baseline calibration timing.
+    Ddr4,
+}
+
+impl HbmPreset {
+    /// All presets, in sweep order (paper default first).
+    pub const ALL: [HbmPreset; 3] = [HbmPreset::Hbm2, HbmPreset::Hbm2DualStack, HbmPreset::Ddr4];
+
+    /// Stable lower-case name used in run IDs and artifact params.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HbmPreset::Hbm2 => "hbm2",
+            HbmPreset::Hbm2DualStack => "hbm2-dual",
+            HbmPreset::Ddr4 => "ddr4",
+        }
+    }
+
+    /// The timing parameters this preset names.
+    pub fn timing(&self) -> HbmTiming {
+        match self {
+            HbmPreset::Hbm2 => HbmTiming::hbm2(),
+            HbmPreset::Hbm2DualStack => HbmTiming::hbm2_dual_stack(),
+            HbmPreset::Ddr4 => HbmTiming::ddr4(),
+        }
+    }
+
+    /// Reverse lookup: which preset (if any) a timing struct corresponds to.
+    pub fn of(timing: &HbmTiming) -> Option<HbmPreset> {
+        Self::ALL.into_iter().find(|p| p.timing() == *timing)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +162,15 @@ mod tests {
     #[test]
     fn default_is_hbm2() {
         assert_eq!(HbmTiming::default(), HbmTiming::hbm2());
+    }
+
+    #[test]
+    fn presets_round_trip_through_reverse_lookup() {
+        for preset in HbmPreset::ALL {
+            assert_eq!(HbmPreset::of(&preset.timing()), Some(preset));
+            assert!(!preset.name().is_empty());
+        }
+        let custom = HbmTiming { base_latency: 999, ..HbmTiming::hbm2() };
+        assert_eq!(HbmPreset::of(&custom), None);
     }
 }

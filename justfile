@@ -1,11 +1,12 @@
 # Local mirror of .github/workflows/ci.yml — `just ci` before pushing.
 
 # The 11 paper-artifact binaries (keep in sync with the loop in ci.yml and
-# the BINARIES table in crates/bench/tests/bin_smoke.rs).
+# the BINARIES table in crates/bench/tests/bin_smoke.rs, which additionally
+# covers the `tune` binary — it takes its own flags, see `just tune`).
 bins := "table1 table3 table4 table5 fig11 fig13 fig14 fig15 fig16 fig17 ablation"
 
 # Run everything CI runs.
-ci: fmt clippy build test artifacts
+ci: fmt clippy build test artifacts tune
 
 # Formatting check (apply with `just fmt-fix`).
 fmt:
@@ -41,6 +42,19 @@ artifacts-paper:
         cargo run --release -q -p neura_bench --bin $bin -- --json || exit 1; \
     done
     ls -l target/artifacts/
+
+# Successive-halving ChipConfig auto-tuner at smoke scale, all datasets;
+# artifact collected at target/artifacts/tune.json.
+tune:
+    NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin tune -- --json
+    ls -l target/artifacts/tune.json
+
+# The tuner at paper scale (very slow): the fidelity ladder climbs to
+# 256-2000-node analogs (the same node band the cycle-level figure
+# binaries simulate).
+tune-paper:
+    cargo run --release -q -p neura_bench --bin tune -- --json
+    ls -l target/artifacts/tune.json
 
 # Criterion micro-benchmarks (stubbed offline: single-pass wall-clock timing).
 bench:
