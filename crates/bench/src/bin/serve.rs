@@ -1,0 +1,299 @@
+//! Request-stream serving simulation: open-loop arrival streams, batching
+//! policies and multi-chip sharding over the cycle-level NeuraChip model
+//! (see `neura_serve`). Run with
+//! `cargo run --release -p neura_bench --bin serve` (add `--json [path]`
+//! for a machine-readable artifact). Flags:
+//!
+//! - `--arrival poisson|bursty` — arrival process (repeatable; default
+//!   `poisson`)
+//! - `--rps X` — mean arrival rate in requests/second (repeatable; default:
+//!   auto-calibrated to ~80% offered load on one shard, so queueing is
+//!   visible at every scale multiplier)
+//! - `--policy fifo|sjf|batch` — scheduling/batching policy (repeatable;
+//!   default: all three)
+//! - `--shards N` — accelerator shard count (repeatable; default 1, 2, 4)
+//! - `--duration SECONDS` — simulated stream duration (default 2.0,
+//!   shortened at the auto rate so streams stay ~20k requests)
+//! - `--dataset NAME` — serving-mix dataset (repeatable; default cora,
+//!   wiki-Vote, facebook)
+//! - `--max-batch N` / `--batch-timeout-ms X` — knobs of the `batch` policy
+//!   (the timeout defaults to 20x the mean service time)
+//!
+//! The sweep replays every (arrival, rps) stream once per policy/shard arm
+//! (arms share the stream seed), charges each dispatched batch a memoised
+//! cycle cost simulated once per request class on the Tile-16 chip, and
+//! reports p50/p95/p99 latency, sustained throughput, queue depth and
+//! per-shard utilisation per scenario.
+
+use neura_baselines::workload::WorkloadProfile;
+use neura_bench::{fmt, print_table, sim_matrix_at_fidelity};
+use neura_chip::accelerator::Accelerator;
+use neura_chip::config::ChipConfig;
+use neura_lab::{ArtifactSession, RunRecord, Runner};
+use neura_serve::policy::{DEFAULT_BATCH_TIMEOUT_S, DEFAULT_MAX_BATCH};
+use neura_serve::{
+    simulate, ArrivalProcess, ClassCost, CostTable, Policy, RequestClass, ServeSweep,
+};
+use neura_sparse::DatasetCatalog;
+
+/// Per-request workload shrink classes: a request queries the full
+/// simulator workload of its dataset, half of it, or a quarter.
+const REQUEST_SHRINKS: [usize; 3] = [1, 2, 4];
+
+/// Base seed of every stream (scenario seeds derive from it).
+const STREAM_SEED: u64 = 0x5EED_CAFE;
+
+fn usage() -> String {
+    "usage: serve [--json [PATH]] [--arrival A]... [--rps X]... [--policy P]... [--shards N]...\n\
+     \x20            [--duration S] [--dataset NAME]... [--max-batch N] [--batch-timeout-ms X]\n\
+     \n\
+     --json [PATH]         write a machine-readable artifact (default: target/artifacts/serve.json)\n\
+     --arrival A           poisson | bursty (repeatable; default: poisson)\n\
+     --rps X               mean arrival rate in requests/second (repeatable; default: auto,\n\
+     \x20                    ~80% offered load on a single shard)\n\
+     --policy P            fifo | sjf | batch (repeatable; default: fifo, sjf, batch)\n\
+     --shards N            accelerator shard count (repeatable; default: 1, 2, 4)\n\
+     --duration S          simulated stream duration in seconds (default: 2.0, shortened\n\
+     \x20                    at the auto rate so streams stay ~20k requests)\n\
+     --dataset NAME        serving-mix dataset (repeatable; default: cora, wiki-Vote, facebook)\n\
+     --max-batch N         batch policy: largest batch size (default: 8)\n\
+     --batch-timeout-ms X  batch policy: partial-batch flush timeout (default: 20x the\n\
+     \x20                    mean service time)"
+        .to_string()
+}
+
+fn main() {
+    let mut arrivals: Vec<ArrivalProcess> = Vec::new();
+    let mut rps: Vec<f64> = Vec::new();
+    let mut policy_names: Vec<String> = Vec::new();
+    let mut shards: Vec<usize> = Vec::new();
+    let mut duration_s = 2.0f64;
+    let mut duration_given = false;
+    let mut mix: Vec<String> = Vec::new();
+    let mut max_batch = DEFAULT_MAX_BATCH;
+    let mut batch_timeout_s = DEFAULT_BATCH_TIMEOUT_S;
+    let mut batch_timeout_given = false;
+    let mut passthrough: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--arrival" => {
+                let raw = args.next().unwrap_or_else(|| bad_usage("--arrival needs a value"));
+                arrivals.push(
+                    ArrivalProcess::parse(&raw)
+                        .unwrap_or_else(|| bad_usage(&format!("unknown arrival process {raw:?}"))),
+                );
+            }
+            "--rps" => {
+                let raw = args.next().unwrap_or_else(|| bad_usage("--rps needs a value"));
+                rps.push(match raw.parse::<f64>() {
+                    Ok(r) if r.is_finite() && r > 0.0 => r,
+                    _ => bad_usage(&format!("--rps {raw:?} is not a positive rate")),
+                });
+            }
+            "--policy" => {
+                let raw = args.next().unwrap_or_else(|| bad_usage("--policy needs a value"));
+                if Policy::parse(&raw).is_none() {
+                    bad_usage(&format!("unknown policy {raw:?}"));
+                }
+                policy_names.push(raw);
+            }
+            "--shards" => {
+                let raw = args.next().unwrap_or_else(|| bad_usage("--shards needs a value"));
+                shards.push(match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => bad_usage(&format!("--shards {raw:?} is not a positive integer")),
+                });
+            }
+            "--duration" => {
+                let raw = args.next().unwrap_or_else(|| bad_usage("--duration needs a value"));
+                duration_s = match raw.parse::<f64>() {
+                    Ok(d) if d.is_finite() && d > 0.0 => d,
+                    _ => bad_usage(&format!("--duration {raw:?} is not a positive duration")),
+                };
+                duration_given = true;
+            }
+            "--dataset" => {
+                let name = args.next().unwrap_or_else(|| bad_usage("--dataset needs a value"));
+                if DatasetCatalog::by_name(&name).is_none() {
+                    bad_usage(&format!("dataset {name:?} is not in the catalog"));
+                }
+                mix.push(name);
+            }
+            "--max-batch" => {
+                let raw = args.next().unwrap_or_else(|| bad_usage("--max-batch needs a value"));
+                max_batch = match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => bad_usage(&format!("--max-batch {raw:?} is not a positive integer")),
+                };
+            }
+            "--batch-timeout-ms" => {
+                let raw =
+                    args.next().unwrap_or_else(|| bad_usage("--batch-timeout-ms needs a value"));
+                batch_timeout_s = match raw.parse::<f64>() {
+                    Ok(t) if t.is_finite() && t >= 0.0 => t / 1e3,
+                    _ => bad_usage(&format!("--batch-timeout-ms {raw:?} is not a timeout")),
+                };
+                batch_timeout_given = true;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return;
+            }
+            // Only --json [PATH] is forwarded to the artifact session.
+            "--json" => {
+                passthrough.push(arg);
+                if matches!(args.peek(), Some(next) if !next.starts_with("--")) {
+                    passthrough.push(args.next().expect("peeked"));
+                }
+            }
+            other => bad_usage(&format!("unrecognised argument {other:?}")),
+        }
+    }
+    if mix.is_empty() {
+        mix = vec!["cora".to_string(), "wiki-Vote".to_string(), "facebook".to_string()];
+    }
+    let mut session =
+        ArtifactSession::from_arg_list("serve", neura_bench::scale_multiplier(), passthrough);
+    let runner = Runner::from_env();
+    let config = ChipConfig::tile_16();
+
+    // Memoise the cycle cost of one request per class (dataset of the mix ×
+    // request shrink) — one cycle-level simulation each, fanned out on the
+    // lab runner; every scenario then replays against this shared table.
+    let classes: Vec<RequestClass> = mix
+        .iter()
+        .enumerate()
+        .flat_map(|(dataset, _)| REQUEST_SHRINKS.map(|shrink| RequestClass { dataset, shrink }))
+        .collect();
+    let measured = runner.run(&classes, |_, class| {
+        let a = sim_matrix_at_fidelity(&mix[class.dataset], class.shrink);
+        let mut chip = Accelerator::new(config.clone());
+        let report = chip.run_spgemm(&a, &a).expect("simulation drains").report;
+        let profile = WorkloadProfile::from_square(&mix[class.dataset], &a);
+        ClassCost { cycles: report.total_cycles, flops: profile.flops() }
+    });
+    let mut costs = CostTable::for_config(&config);
+    for (class, cost) in classes.iter().zip(&measured) {
+        costs.insert(*class, *cost);
+    }
+    for (class, cost) in classes.iter().zip(&measured) {
+        let service_ms = costs.service_seconds(*class, 1) * 1e3;
+        let mut record =
+            RunRecord::new(format!("serve/cost/{}/x{}", mix[class.dataset], class.shrink))
+                .unit_metric("cycles", cost.cycles as f64, "cycles")
+                .unit_metric("service_ms", service_ms, "ms")
+                .metric("flops", cost.flops as f64);
+        record.params.push(("dataset".to_string(), mix[class.dataset].clone()));
+        record.params.push(("shrink".to_string(), class.shrink.to_string()));
+        session.push(record);
+    }
+
+    // Absolute request rates mean nothing across scale multipliers (a smoke
+    // run's requests are thousands of times cheaper than paper-scale ones),
+    // so the default arrival rate auto-calibrates to ~80% offered load on a
+    // single shard — high enough that queueing, policy differences and
+    // shard scaling are visible at every scale. Derived from the memoised
+    // cycle costs, so it stays a pure function of the inputs.
+    let mean_service_s =
+        classes.iter().map(|c| costs.service_seconds(*c, 1)).sum::<f64>() / classes.len() as f64;
+    // The fixed-wall-clock batch timeout gets the same treatment: 20x the
+    // mean service time leaves room for same-class arrivals to accumulate
+    // without letting the flush deadline dwarf the service cost itself.
+    if !batch_timeout_given {
+        batch_timeout_s = mean_service_s * 20.0;
+    }
+    let policies: Vec<Policy> = if policy_names.is_empty() {
+        vec![Policy::Fifo, Policy::Sjf, Policy::batch(max_batch, batch_timeout_s)]
+    } else {
+        policy_names
+            .iter()
+            .map(|name| match Policy::parse(name).expect("validated at parse time") {
+                Policy::BatchByDataset { .. } => Policy::batch(max_batch, batch_timeout_s),
+                other => other,
+            })
+            .collect()
+    };
+    if rps.is_empty() {
+        let auto_rps = (0.8 / mean_service_s).max(1.0).round();
+        // Keep auto-rated streams to ~20k requests so smoke runs (where a
+        // request costs microseconds and the rate lands in the millions)
+        // stay fast; an explicit --duration wins.
+        if !duration_given {
+            duration_s = f64::min(duration_s, (20_000.0 / auto_rps).max(1e-3));
+        }
+        println!(
+            "auto arrival rate: {auto_rps} req/s (~80% of one shard's {:.4} ms mean service), \
+             duration {duration_s:.4} s",
+            mean_service_s * 1e3,
+        );
+        rps.push(auto_rps);
+    }
+    let sweep = ServeSweep::new()
+        .arrivals(if arrivals.is_empty() { vec![ArrivalProcess::Poisson] } else { arrivals })
+        .rps(rps)
+        .policies(policies)
+        .shards(if shards.is_empty() { vec![1, 2, 4] } else { shards });
+
+    // Replay every scenario on the runner; results collect in sweep order,
+    // so the artifact is byte-identical for any NEURA_LAB_THREADS.
+    let scenarios = sweep.scenarios("serve", STREAM_SEED);
+    let outcomes = runner.run(&scenarios, |_, scenario| {
+        let stream = scenario.stream_spec(duration_s, mix.len(), &REQUEST_SHRINKS).generate();
+        simulate(&stream, scenario.policy, scenario.shards, &costs)
+    });
+
+    let mut rows = Vec::new();
+    for (scenario, outcome) in scenarios.iter().zip(&outcomes) {
+        let mean_util = outcome.utilisations().iter().sum::<f64>() / scenario.shards as f64;
+        let tails = outcome.latency_percentiles_s(&[50.0, 95.0, 99.0]);
+        rows.push(vec![
+            scenario.id.strip_prefix("serve/").unwrap_or(&scenario.id).to_string(),
+            outcome.requests().to_string(),
+            fmt(tails[0] * 1e3, 3),
+            fmt(tails[1] * 1e3, 3),
+            fmt(tails[2] * 1e3, 3),
+            fmt(outcome.throughput_rps(), 1),
+            fmt(mean_util, 3),
+            outcome.batch_sizes.len().to_string(),
+            fmt(outcome.mean_batch_size(), 2),
+        ]);
+        let mut params = scenario.params();
+        params.push(("mix".to_string(), mix.join("+")));
+        params.push(("duration_s".to_string(), format!("{duration_s:?}")));
+        session.extend(outcome.records(&scenario.id, &params));
+    }
+
+    print_table(
+        "Serving scenarios: tail latency and throughput under load",
+        &[
+            "Scenario",
+            "Requests",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "Thr (req/s)",
+            "Util",
+            "Batches",
+            "Mean batch",
+        ],
+        &rows,
+    );
+    println!(
+        "\nEach scenario replays a deterministic {}-dataset request stream on a fleet\n\
+         of simulated Tile-16 chips: batches dispatch to the least-loaded idle shard\n\
+         and are charged a cycle cost memoised per (dataset x request size) class\n\
+         ({} cycle-level simulations total). Policy and shard arms of the same\n\
+         arrival/rate stream share their seed, so they are directly comparable.",
+        mix.len(),
+        classes.len(),
+    );
+
+    session.finish();
+}
+
+fn bad_usage(message: &str) -> ! {
+    eprintln!("{message}\n{}", usage());
+    std::process::exit(2);
+}

@@ -1,0 +1,190 @@
+//! Trend tracking across artifact runs: diffs two `neura_lab.artifact/v1`
+//! files (or two directories of them) and prints per-metric absolute and
+//! relative deltas, so perf regressions between runs become numbers
+//! instead of eyeballed tables. Run with
+//! `cargo run --release -p neura_bench --bin trend -- BEFORE AFTER`. Flags:
+//!
+//! - `BEFORE` / `AFTER` — artifact JSON files, or directories whose
+//!   `*.json` files are matched by name (e.g. two saved copies of
+//!   `target/artifacts/`)
+//! - `--fail-above PCT` — exit non-zero when any metric's relative delta
+//!   exceeds `PCT` percent in magnitude, or when a metric/file exists on
+//!   only one side (`--fail-above 0` fails on any change at all)
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use neura_bench::{fmt, print_table};
+use neura_lab::trend::{self, TrendReport};
+
+fn usage() -> String {
+    "usage: trend [--fail-above PCT] BEFORE AFTER\n\
+     \n\
+     BEFORE, AFTER     artifact JSON files, or directories of *.json artifacts\n\
+     \x20                 (directories are matched file-name by file-name)\n\
+     --fail-above PCT  exit 1 when a relative delta exceeds PCT percent in\n\
+     \x20                 magnitude or a metric/file exists on only one side"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let mut fail_above: Option<f64> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fail-above" => {
+                let raw = args.next().unwrap_or_else(|| bad_usage("--fail-above needs a value"));
+                fail_above = Some(match raw.parse::<f64>() {
+                    Ok(pct) if pct.is_finite() && pct >= 0.0 => pct,
+                    _ => bad_usage(&format!("--fail-above {raw:?} is not a percentage")),
+                });
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                bad_usage(&format!("unrecognised argument {other:?}"))
+            }
+            _ => paths.push(PathBuf::from(arg)),
+        }
+    }
+    let [before, after] = paths.as_slice() else {
+        bad_usage("expected exactly two paths (BEFORE and AFTER)");
+    };
+
+    let (pairs, unmatched) = match collect_pairs(before, after) {
+        Ok(found) => found,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = !unmatched.is_empty();
+    for path in &unmatched {
+        println!("only on one side: {path}");
+    }
+    for (label, before_path, after_path) in &pairs {
+        let report = match (trend::load_artifact(before_path), trend::load_artifact(after_path)) {
+            (Ok(b), Ok(a)) => trend::diff(&b, &a),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print_report(label, &report);
+        if let Some(pct) = fail_above {
+            if report.exceeds(pct) {
+                failed = true;
+            }
+        }
+    }
+
+    match fail_above {
+        Some(pct) if failed => {
+            eprintln!("\ntrend: deltas exceed the --fail-above {pct}% threshold");
+            ExitCode::FAILURE
+        }
+        _ => ExitCode::SUCCESS,
+    }
+}
+
+/// Resolves the two inputs into `(label, before, after)` artifact pairs
+/// plus the file names present on only one side (directory mode).
+#[allow(clippy::type_complexity)]
+fn collect_pairs(
+    before: &Path,
+    after: &Path,
+) -> Result<(Vec<(String, PathBuf, PathBuf)>, Vec<String>), String> {
+    if before.is_dir() != after.is_dir() {
+        return Err("BEFORE and AFTER must both be files or both be directories".to_string());
+    }
+    if !before.is_dir() {
+        let label = before
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| before.display().to_string());
+        return Ok((vec![(label, before.to_path_buf(), after.to_path_buf())], Vec::new()));
+    }
+    let names = |dir: &Path| -> Result<Vec<String>, String> {
+        let mut found = Vec::new();
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".json") {
+                found.push(name);
+            }
+        }
+        found.sort();
+        Ok(found)
+    };
+    let before_names = names(before)?;
+    let after_names = names(after)?;
+    let mut pairs = Vec::new();
+    let mut unmatched = Vec::new();
+    for name in &before_names {
+        if after_names.contains(name) {
+            pairs.push((name.clone(), before.join(name), after.join(name)));
+        } else {
+            unmatched.push(format!("{} (before only)", before.join(name).display()));
+        }
+    }
+    for name in &after_names {
+        if !before_names.contains(name) {
+            unmatched.push(format!("{} (after only)", after.join(name).display()));
+        }
+    }
+    Ok((pairs, unmatched))
+}
+
+fn print_report(label: &str, report: &TrendReport) {
+    for warning in &report.warnings {
+        println!("warning ({label}): {warning}");
+    }
+    let changed = report.changed();
+    let identical = report.deltas.len() - changed.len();
+    if report.is_identical() {
+        println!("{label}: {} metrics, all identical", report.deltas.len());
+        return;
+    }
+    let rows: Vec<Vec<String>> = changed
+        .iter()
+        .map(|d| {
+            vec![
+                d.record.clone(),
+                d.metric.clone(),
+                fmt(d.before, 4),
+                fmt(d.after, 4),
+                fmt(d.abs_delta(), 4),
+                if d.rel_pct().is_infinite() {
+                    "inf".to_string()
+                } else {
+                    format!("{:+.2}", d.rel_pct())
+                },
+            ]
+        })
+        .collect();
+    if !rows.is_empty() {
+        print_table(
+            &format!("{label}: {} changed metric(s), {identical} identical", rows.len()),
+            &["Record", "Metric", "Before", "After", "Delta", "Delta %"],
+            &rows,
+        );
+    }
+    for path in &report.only_in_before {
+        println!("{label}: metric only in BEFORE: {path}");
+    }
+    for path in &report.only_in_after {
+        println!("{label}: metric only in AFTER: {path}");
+    }
+}
+
+fn bad_usage(message: &str) -> ! {
+    eprintln!("{message}\n{}", usage());
+    std::process::exit(2);
+}

@@ -3,8 +3,8 @@
 //!
 //! Each binary is executed as a real subprocess (the exact artifact `cargo
 //! run` would launch) with [`neura_bench::SCALE_MULT_ENV`] set so the
-//! workloads shrink to seconds even in debug builds. All twelve binaries run
-//! concurrently on the same `neura_lab::Runner` scoped-thread pool the
+//! workloads shrink to seconds even in debug builds. All thirteen binaries
+//! run concurrently on the same `neura_lab::Runner` scoped-thread pool the
 //! binaries themselves use for their sweeps. Beyond exit status 0 and
 //! non-empty stdout, each binary's `--json` output must parse back through
 //! `neura_lab`'s artifact parser with at least one record and at least one
@@ -21,7 +21,7 @@ use neura_lab::{parse_json, Artifact, Runner};
 const SMOKE_MULT: &str = "32";
 
 /// Every artifact binary, paired with the path Cargo built it at.
-const BINARIES: [(&str, &str); 12] = [
+const BINARIES: [(&str, &str); 13] = [
     ("table1", env!("CARGO_BIN_EXE_table1")),
     ("table3", env!("CARGO_BIN_EXE_table3")),
     ("table4", env!("CARGO_BIN_EXE_table4")),
@@ -34,6 +34,7 @@ const BINARIES: [(&str, &str); 12] = [
     ("fig17", env!("CARGO_BIN_EXE_fig17")),
     ("ablation", env!("CARGO_BIN_EXE_ablation")),
     ("tune", env!("CARGO_BIN_EXE_tune")),
+    ("serve", env!("CARGO_BIN_EXE_serve")),
 ];
 
 fn run_smoke(name: &str, exe: &str, json_dir: &Path) -> Result<(), String> {
@@ -90,10 +91,51 @@ fn run_smoke(name: &str, exe: &str, json_dir: &Path) -> Result<(), String> {
             return Err("best_config is worse than the paper default".to_string());
         }
     }
+    if name == "serve" {
+        check_serve_artifact(&artifact)?;
+    }
     Ok(())
 }
 
-/// All twelve binaries, in parallel, through the lab runner.
+/// Serving-specific schema checks: every scenario summary carries tail
+/// latency and throughput, and at a fixed arrival rate more shards never
+/// worsen p99 latency (the binary's default sweep includes FIFO at 1/2/4
+/// shards over one shared stream).
+fn check_serve_artifact(artifact: &Artifact) -> Result<(), String> {
+    let summaries: Vec<_> =
+        artifact.records.iter().filter(|r| r.id.ends_with("/summary")).collect();
+    if summaries.is_empty() {
+        return Err("serve artifact has no scenario summaries".to_string());
+    }
+    for summary in &summaries {
+        for metric in ["p99_latency_ms", "throughput_rps", "queue_depth_mean"] {
+            if summary.metric_value(metric).is_none() {
+                return Err(format!("summary {:?} lacks the {metric} metric", summary.id));
+            }
+        }
+    }
+    if !artifact.records.iter().any(|r| r.id.contains("/shard")) {
+        return Err("serve artifact has no per-shard utilisation records".to_string());
+    }
+    // The default arrival rate is auto-calibrated, so match the fifo
+    // summaries by prefix and suffix instead of the exact rps segment.
+    let fifo_p99 = |shards: usize| {
+        let suffix = format!("/fifo/s{shards}/summary");
+        artifact
+            .records
+            .iter()
+            .find(|r| r.id.starts_with("serve/poisson/rps") && r.id.ends_with(&suffix))
+            .and_then(|r| r.metric_value("p99_latency_ms"))
+            .ok_or(format!("missing default fifo s{shards} summary"))
+    };
+    let (s1, s2, s4) = (fifo_p99(1)?, fifo_p99(2)?, fifo_p99(4)?);
+    if s2 > s1 + 1e-9 || s4 > s2 + 1e-9 {
+        return Err(format!("p99 worsened with more shards: s1={s1} s2={s2} s4={s4}"));
+    }
+    Ok(())
+}
+
+/// All thirteen binaries, in parallel, through the lab runner.
 #[test]
 fn all_binaries_run_and_emit_parseable_artifacts() {
     let json_dir = std::env::temp_dir().join(format!("neura_bench_smoke_{}", std::process::id()));
@@ -115,4 +157,50 @@ fn all_binaries_run_and_emit_parseable_artifacts() {
         failures.len(),
         failures.join("\n")
     );
+}
+
+/// The serve artifact is byte-identical across `NEURA_LAB_THREADS`
+/// settings, and the `trend` binary reports zero delta (exit 0 with
+/// `--fail-above 0`) when diffing an artifact against itself.
+#[test]
+fn serve_is_thread_invariant_and_trend_self_diff_is_zero() {
+    let json_dir =
+        std::env::temp_dir().join(format!("neura_bench_serve_trend_{}", std::process::id()));
+    std::fs::create_dir_all(&json_dir).expect("create artifact dir");
+
+    let serve_with_threads = |threads: &str| {
+        let path = json_dir.join(format!("serve_t{threads}.json"));
+        let output = Command::new(env!("CARGO_BIN_EXE_serve"))
+            .arg("--json")
+            .arg(&path)
+            .env(neura_bench::SCALE_MULT_ENV, SMOKE_MULT)
+            .env("NEURA_LAB_THREADS", threads)
+            .output()
+            .expect("spawn serve");
+        assert!(
+            output.status.success(),
+            "serve (threads={threads}) failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        (path.clone(), std::fs::read_to_string(&path).expect("serve artifact written"))
+    };
+    let (path_two, bytes_two) = serve_with_threads("2");
+    let (_, bytes_eight) = serve_with_threads("8");
+    assert_eq!(bytes_two, bytes_eight, "serve artifact bytes depend on the thread count");
+
+    let trend = Command::new(env!("CARGO_BIN_EXE_trend"))
+        .args(["--fail-above", "0"])
+        .arg(&path_two)
+        .arg(&path_two)
+        .output()
+        .expect("spawn trend");
+    let stdout = String::from_utf8_lossy(&trend.stdout);
+    assert!(
+        trend.status.success(),
+        "trend self-diff must report zero delta:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&trend.stderr)
+    );
+    assert!(stdout.contains("all identical"), "unexpected trend output:\n{stdout}");
+
+    std::fs::remove_dir_all(&json_dir).ok();
 }

@@ -1,0 +1,64 @@
+//! Criterion-through-lab: measurements taken by the vendored criterion
+//! shim must flow into the same machine-readable artifact format the
+//! figure/table binaries emit, so micro- and macro-benchmark results can be
+//! diffed by the same tooling (`trend`). This test drives the shim's
+//! measurement + emission path in-process and round-trips the resulting
+//! file through `neura_lab`'s strict artifact parser.
+//!
+//! Everything lives in a single `#[test]` because the opt-in is a
+//! process-wide environment variable; parallel test threads mutating it
+//! would race.
+
+use criterion::{BenchmarkId, Criterion};
+use neura_lab::{parse_json, Artifact};
+
+#[test]
+fn criterion_measurements_round_trip_through_the_lab_artifact_parser() {
+    let dir = std::env::temp_dir().join(format!("neura_criterion_json_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    std::env::set_var(criterion::JSON_ENV, &dir);
+
+    let mut criterion = Criterion::default();
+    criterion.bench_function("standalone", |b| b.iter(|| criterion::black_box(1 + 1)));
+    let mut group = criterion.benchmark_group("grouped");
+    group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+        b.iter(|| criterion::black_box(n * 2))
+    });
+    group.finish();
+    criterion::emit_artifact("unit_demo");
+
+    let path = dir.join("bench_unit_demo.json");
+    let text = std::fs::read_to_string(&path).expect("artifact written");
+    let artifact =
+        Artifact::from_json(&parse_json(&text).expect("artifact parses")).expect("schema matches");
+
+    assert_eq!(artifact.bin, "bench_unit_demo");
+    assert_eq!(artifact.scale_mult, 1);
+    assert_eq!(artifact.records.len(), 2);
+    let standalone = artifact.record("bench_unit_demo/standalone").expect("standalone record");
+    assert!(standalone.metric_value("mean_seconds").expect("mean metric") >= 0.0);
+    assert_eq!(standalone.metric_value("iterations"), Some(1.0), "smoke mode runs once");
+    let grouped = artifact.record("bench_unit_demo/grouped/scaled/4").expect("grouped record");
+    assert_eq!(
+        grouped.metrics.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+        vec!["mean_seconds", "iterations"]
+    );
+    assert_eq!(
+        grouped.metrics[0].unit.as_deref(),
+        Some("s"),
+        "mean carries its unit through the parser"
+    );
+
+    // With the variable unset, measuring and emitting must write nothing.
+    std::env::remove_var(criterion::JSON_ENV);
+    let mut criterion = Criterion::default();
+    criterion.bench_function("unrecorded", |b| b.iter(|| criterion::black_box(0)));
+    criterion::emit_artifact("unrecorded_target");
+    assert!(
+        !dir.join("bench_unrecorded_target.json").exists(),
+        "no artifact may appear when {} is unset",
+        criterion::JSON_ENV
+    );
+    assert!(!std::path::Path::new("target/artifacts/bench_unrecorded_target.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}

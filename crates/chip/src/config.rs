@@ -362,6 +362,13 @@ impl ChipConfig {
     pub fn peak_bandwidth_gbps(&self) -> f64 {
         self.hbm.peak_bandwidth_gbps(self.frequency_ghz) * self.tiles as f64
     }
+
+    /// Wall-clock seconds of one clock cycle at the configured frequency —
+    /// the conversion the serving layer uses to turn memoised cycle costs
+    /// into service times.
+    pub fn seconds_per_cycle(&self) -> f64 {
+        1.0 / (self.frequency_ghz * 1e9)
+    }
 }
 
 impl Default for ChipConfig {
@@ -432,6 +439,13 @@ mod tests {
     #[test]
     fn bandwidth_is_128_gbps() {
         assert!((ChipConfig::tile_16().peak_bandwidth_gbps() - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seconds_per_cycle_inverts_the_frequency() {
+        assert!((ChipConfig::tile_16().seconds_per_cycle() - 1e-9).abs() < 1e-24);
+        let fast = ChipConfig::tile_16().with_frequency_ghz(2.0);
+        assert!((fast.seconds_per_cycle() - 0.5e-9).abs() < 1e-24);
     }
 
     #[test]

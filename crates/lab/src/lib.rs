@@ -29,11 +29,14 @@
 //!    and relaxed to presence checks under [`SCALE_MULT_ENV`] smoke
 //!    shrinking.
 //!
-//! On top of the sweep machinery sits **[`tune`]** — a successive-halving
-//! auto-tuner that *searches* the `ChipConfig` space instead of replaying
-//! published design points: coarse grid in, per-rung halving at increasing
-//! fidelity, and a `best_config` artifact that is never worse than the
-//! paper default on the chosen objective.
+//! On top of the sweep machinery sit two more modules: **[`tune`]** — a
+//! successive-halving auto-tuner that *searches* the `ChipConfig` space
+//! instead of replaying published design points: coarse grid in, per-rung
+//! halving at increasing fidelity, and a `best_config` artifact that is
+//! never worse than the paper default on the chosen objective — and
+//! **[`trend`]**, which diffs two artifacts metric-by-metric so regressions
+//! between runs show up as numbers (the `trend` binary adds a
+//! `--fail-above` threshold on top).
 //!
 //! Binaries tie the stages together with an [`ArtifactSession`], which owns
 //! the `--json [path]` command-line contract:
@@ -52,11 +55,13 @@ pub mod golden;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod trend;
 pub mod tune;
 
 pub use report::{fmt, parse_json, print_table, Artifact, JsonValue, Metric, RunRecord};
 pub use runner::Runner;
 pub use spec::{ExperimentSpec, SweepGrid, SweepPoint};
+pub use trend::{MetricDelta, TrendReport};
 pub use tune::{Objective, TuneOutcome, TuneSpec, Tuner};
 
 use std::path::PathBuf;

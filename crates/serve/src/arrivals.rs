@@ -1,0 +1,254 @@
+//! Deterministic request-stream generation.
+//!
+//! A [`StreamSpec`] names an arrival process, a target rate, a duration and
+//! the request mix; [`StreamSpec::generate`] expands it into a concrete,
+//! time-sorted request list using the workspace's seeded `StdRng`, so the
+//! same spec always produces the identical stream — the property every
+//! serving A/B comparison (and the artifact byte-identity contract) rests
+//! on. Two processes are modelled:
+//!
+//! - **Poisson** — memoryless open-loop traffic: exponential inter-arrival
+//!   times at the target rate.
+//! - **Bursty** — on/off-modulated Poisson traffic: arrivals are generated
+//!   at `rate / BURST_ON_FRACTION` and kept only inside the "on" fraction
+//!   of each [`BURST_PERIOD_S`] window, preserving the target *mean* rate
+//!   while concentrating it into bursts (the worst case for tail latency).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cost::RequestClass;
+
+/// Fraction of each burst period during which a bursty stream admits
+/// arrivals.
+pub const BURST_ON_FRACTION: f64 = 0.25;
+
+/// Upper bound on the on/off modulation period of a bursty stream, in
+/// seconds. Streams shorter than [`BURST_PERIODS_MIN`] such periods shrink
+/// the period to `duration / BURST_PERIODS_MIN` instead (see
+/// [`StreamSpec::burst_period_s`]) — thinning a 1/[`BURST_ON_FRACTION`]×
+/// peak rate only preserves the target *mean* rate when the stream spans
+/// whole periods, so a short stream must never sit inside a single
+/// on-window.
+pub const BURST_PERIOD_S: f64 = 0.5;
+
+/// Minimum number of on/off periods a bursty stream spans.
+pub const BURST_PERIODS_MIN: f64 = 8.0;
+
+/// The arrival process shaping a request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Memoryless open-loop arrivals at the target rate.
+    Poisson,
+    /// On/off-modulated Poisson arrivals with the same mean rate.
+    Bursty,
+}
+
+impl ArrivalProcess {
+    /// Every supported process.
+    pub const ALL: [ArrivalProcess; 2] = [ArrivalProcess::Poisson, ArrivalProcess::Bursty];
+
+    /// Lower-case name, used in run IDs and command lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson => "poisson",
+            ArrivalProcess::Bursty => "bursty",
+        }
+    }
+
+    /// Parses a process name (`"poisson"` / `"bursty"`, case-insensitive).
+    pub fn parse(raw: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name().eq_ignore_ascii_case(raw))
+    }
+}
+
+/// One inference request of a stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Position in the stream (0-based, arrival order).
+    pub id: usize,
+    /// Arrival time in seconds from the start of the scenario.
+    pub arrival_s: f64,
+    /// The request's workload class.
+    pub class: RequestClass,
+}
+
+/// Declarative description of one request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSpec {
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Target mean arrival rate in requests per second.
+    pub rps: f64,
+    /// Stream duration in seconds (arrivals beyond it are dropped).
+    pub duration_s: f64,
+    /// Number of datasets in the serving mix; each request draws its
+    /// dataset index uniformly from `0..mix_size`.
+    pub mix_size: usize,
+    /// Per-request workload shrink factors, drawn uniformly per request.
+    pub shrinks: Vec<usize>,
+    /// RNG seed — the stream is a pure function of the spec.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// The on/off modulation period a bursty version of this stream uses:
+    /// [`BURST_PERIOD_S`], shrunk so the duration always spans at least
+    /// [`BURST_PERIODS_MIN`] whole periods. `duration / BURST_PERIODS_MIN`
+    /// divides the duration exactly, so the on-time fraction — and with it
+    /// the realised mean rate — matches [`BURST_ON_FRACTION`] for short
+    /// streams too.
+    pub fn burst_period_s(&self) -> f64 {
+        (self.duration_s / BURST_PERIODS_MIN).min(BURST_PERIOD_S)
+    }
+
+    /// Expands the spec into a concrete stream: requests sorted by arrival
+    /// time with ids in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rate or duration is not finite and positive, the mix
+    /// is empty, or no shrink factor is given.
+    pub fn generate(&self) -> Vec<Request> {
+        assert!(self.rps.is_finite() && self.rps > 0.0, "arrival rate must be positive");
+        assert!(
+            self.duration_s.is_finite() && self.duration_s > 0.0,
+            "stream duration must be positive"
+        );
+        assert!(self.mix_size >= 1, "the serving mix needs at least one dataset");
+        assert!(!self.shrinks.is_empty(), "at least one request shrink factor is required");
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let peak_rate = match self.arrival {
+            ArrivalProcess::Poisson => self.rps,
+            ArrivalProcess::Bursty => self.rps / BURST_ON_FRACTION,
+        };
+
+        let burst_period = self.burst_period_s();
+        let mut requests = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            // Exponential inter-arrival via inverse CDF; u ∈ [0, 1) keeps
+            // the argument of ln strictly positive.
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).ln() / peak_rate;
+            if t >= self.duration_s {
+                break;
+            }
+            if self.arrival == ArrivalProcess::Bursty && !in_burst_window(t, burst_period) {
+                continue;
+            }
+            let dataset = rng.gen_range(0..self.mix_size);
+            let shrink = self.shrinks[rng.gen_range(0..self.shrinks.len())];
+            requests.push(Request {
+                id: requests.len(),
+                arrival_s: t,
+                class: RequestClass { dataset, shrink },
+            });
+        }
+        requests
+    }
+}
+
+/// Whether `t` falls inside the "on" fraction of its modulation period.
+fn in_burst_window(t: f64, period_s: f64) -> bool {
+    (t / period_s).fract() < BURST_ON_FRACTION
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(arrival: ArrivalProcess, seed: u64) -> StreamSpec {
+        StreamSpec {
+            arrival,
+            rps: 400.0,
+            duration_s: 2.0,
+            mix_size: 3,
+            shrinks: vec![1, 2, 4],
+            seed,
+        }
+    }
+
+    #[test]
+    fn streams_are_sorted_and_ids_are_positional() {
+        for arrival in ArrivalProcess::ALL {
+            let requests = spec(arrival, 7).generate();
+            assert!(!requests.is_empty());
+            assert!(requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+            for (i, r) in requests.iter().enumerate() {
+                assert_eq!(r.id, i);
+                assert!(r.arrival_s < 2.0);
+                assert!(r.class.dataset < 3);
+                assert!([1, 2, 4].contains(&r.class.shrink));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_stream_and_different_seeds_decorrelate() {
+        let a = spec(ArrivalProcess::Poisson, 7).generate();
+        let b = spec(ArrivalProcess::Poisson, 7).generate();
+        assert_eq!(a, b);
+        let c = spec(ArrivalProcess::Poisson, 8).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_rate_is_close_to_the_target_for_both_processes() {
+        for arrival in ArrivalProcess::ALL {
+            let s = spec(arrival, 3);
+            let n = s.generate().len() as f64;
+            let expected = s.rps * s.duration_s;
+            assert!(
+                (n - expected).abs() < expected * 0.25,
+                "{}: {n} arrivals vs expected {expected}",
+                arrival.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_streams_concentrate_arrivals_into_on_windows() {
+        let s = spec(ArrivalProcess::Bursty, 5);
+        let period = s.burst_period_s();
+        assert!(s.generate().iter().all(|r| in_burst_window(r.arrival_s, period)));
+    }
+
+    #[test]
+    fn short_bursty_streams_still_hit_the_target_mean_rate() {
+        // A 20 ms stream fits entirely inside one BURST_PERIOD_S on-window;
+        // without the adaptive period the 4x peak rate would never be
+        // thinned and the realised mean rate would be ~4x the target.
+        let s = StreamSpec {
+            arrival: ArrivalProcess::Bursty,
+            rps: 50_000.0,
+            duration_s: 0.02,
+            mix_size: 1,
+            shrinks: vec![1],
+            seed: 11,
+        };
+        assert!(s.burst_period_s() < BURST_PERIOD_S);
+        let n = s.generate().len() as f64;
+        let expected = s.rps * s.duration_s;
+        assert!(
+            (n - expected).abs() < expected * 0.25,
+            "{n} arrivals vs expected {expected} — short bursty streams must stay thinned"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for arrival in ArrivalProcess::ALL {
+            assert_eq!(ArrivalProcess::parse(arrival.name()), Some(arrival));
+        }
+        assert_eq!(ArrivalProcess::parse("POISSON"), Some(ArrivalProcess::Poisson));
+        assert_eq!(ArrivalProcess::parse("uniform"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_is_rejected() {
+        StreamSpec { rps: 0.0, ..spec(ArrivalProcess::Poisson, 1) }.generate();
+    }
+}

@@ -1,0 +1,202 @@
+//! The memoised batch cost model.
+//!
+//! Simulating every request of a stream cycle-by-cycle would make serving
+//! experiments quadratically expensive, so the serving layer charges each
+//! dispatched batch a *memoised* cycle cost: one cycle-level simulation per
+//! distinct [`RequestClass`] (dataset of the mix × per-request shrink
+//! factor), measured once up front on the fleet's `ChipConfig` and reused
+//! for every batch of that class. Batching amortises operand traffic — every
+//! request of a batch queries the same graph — so requests beyond the first
+//! are charged only a marginal fraction of the single-request cost.
+
+use std::collections::BTreeMap;
+
+use neura_chip::config::ChipConfig;
+
+/// The workload class of one request: which dataset of the serving mix it
+/// queries (an index into the mix, not a name — the stream generator and
+/// the queueing simulation never need the string) and how much the
+/// per-request workload is shrunk relative to the full simulator workload
+/// (1 = full size, 2 = half, … — the same fidelity ladder the auto-tuner
+/// uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestClass {
+    /// Index of the dataset in the serving mix.
+    pub dataset: usize,
+    /// Workload shrink factor of this request (≥ 1).
+    pub shrink: usize,
+}
+
+/// Measured cost of serving a *single* request of one class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassCost {
+    /// Cycle cost of one request, from the cycle-level `neura_chip` run.
+    pub cycles: u64,
+    /// Floating-point operations of one request
+    /// (`WorkloadProfile::flops`) — the shortest-job-first weight.
+    pub flops: u64,
+}
+
+/// Fraction of the single-request cost charged to each request of a batch
+/// beyond the first (operand fetch and program setup are shared across the
+/// batch; accumulation work is not).
+pub const DEFAULT_MARGINAL_BATCH_FRACTION: f64 = 0.5;
+
+/// Memoised per-class costs plus the conversion from cycles to seconds.
+#[derive(Debug, Clone)]
+pub struct CostTable {
+    seconds_per_cycle: f64,
+    marginal_fraction: f64,
+    costs: BTreeMap<RequestClass, ClassCost>,
+}
+
+impl CostTable {
+    /// Creates an empty table converting cycles to seconds at the given
+    /// rate, with the default marginal batch fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `seconds_per_cycle` is finite and positive.
+    pub fn new(seconds_per_cycle: f64) -> Self {
+        assert!(
+            seconds_per_cycle.is_finite() && seconds_per_cycle > 0.0,
+            "seconds per cycle must be finite and positive"
+        );
+        CostTable {
+            seconds_per_cycle,
+            marginal_fraction: DEFAULT_MARGINAL_BATCH_FRACTION,
+            costs: BTreeMap::new(),
+        }
+    }
+
+    /// Creates an empty table for a fleet of chips running `config`
+    /// (cycles convert at [`ChipConfig::seconds_per_cycle`]).
+    pub fn for_config(config: &ChipConfig) -> Self {
+        Self::new(config.seconds_per_cycle())
+    }
+
+    /// Overrides the marginal batch fraction (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ fraction ≤ 1`.
+    pub fn with_marginal_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "marginal batch fraction must be within [0, 1]");
+        self.marginal_fraction = fraction;
+        self
+    }
+
+    /// Records the measured cost of one class (replacing any previous entry).
+    pub fn insert(&mut self, class: RequestClass, cost: ClassCost) {
+        self.costs.insert(class, cost);
+    }
+
+    /// The measured cost of one class.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the class was never measured: a missing entry means the
+    /// stream and the memoisation phase disagree about the request mix,
+    /// which must fail loudly rather than serve a request for free.
+    pub fn cost(&self, class: RequestClass) -> ClassCost {
+        *self
+            .costs
+            .get(&class)
+            .unwrap_or_else(|| panic!("no memoised cost for request class {class:?}"))
+    }
+
+    /// Service time of a batch of `batch_size` same-class requests: the full
+    /// single-request cost for the first request plus the marginal fraction
+    /// for each additional one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size == 0` or the class is unknown.
+    pub fn service_seconds(&self, class: RequestClass, batch_size: usize) -> f64 {
+        assert!(batch_size >= 1, "a batch serves at least one request");
+        let first = self.cost(class).cycles as f64 * self.seconds_per_cycle;
+        first * (1.0 + self.marginal_fraction * (batch_size - 1) as f64)
+    }
+
+    /// The shortest-job-first weight of one request of a class.
+    pub fn weight(&self, class: RequestClass) -> u64 {
+        self.cost(class).flops
+    }
+
+    /// Number of memoised classes.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether no class has been measured yet.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// The memoised classes and costs, in class order.
+    pub fn entries(&self) -> impl Iterator<Item = (RequestClass, ClassCost)> + '_ {
+        self.costs.iter().map(|(class, cost)| (*class, *cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CostTable {
+        let mut t = CostTable::new(1e-9);
+        t.insert(RequestClass { dataset: 0, shrink: 1 }, ClassCost { cycles: 1_000, flops: 50 });
+        t
+    }
+
+    #[test]
+    fn service_time_amortises_batched_requests() {
+        let t = table().with_marginal_fraction(0.5);
+        let class = RequestClass { dataset: 0, shrink: 1 };
+        let one = t.service_seconds(class, 1);
+        let four = t.service_seconds(class, 4);
+        assert!((one - 1e-6).abs() < 1e-15);
+        assert!((four - one * 2.5).abs() < 1e-15, "1 + 0.5 * 3 = 2.5x the single cost");
+        assert!(four < 4.0 * one, "batching must be cheaper than serving separately");
+    }
+
+    #[test]
+    fn zero_marginal_fraction_makes_batches_free_after_the_first() {
+        let t = table().with_marginal_fraction(0.0);
+        let class = RequestClass { dataset: 0, shrink: 1 };
+        assert_eq!(t.service_seconds(class, 1), t.service_seconds(class, 8));
+    }
+
+    #[test]
+    fn for_config_uses_the_chip_frequency() {
+        let t = CostTable::for_config(&ChipConfig::tile_16());
+        assert!(t.is_empty());
+        let mut t = t;
+        t.insert(
+            RequestClass { dataset: 0, shrink: 1 },
+            ClassCost { cycles: 1_000_000_000, flops: 1 },
+        );
+        // Tile-16 runs at 1 GHz, so a billion cycles is one second.
+        let s = t.service_seconds(RequestClass { dataset: 0, shrink: 1 }, 1);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no memoised cost")]
+    fn unknown_class_fails_loudly() {
+        table().cost(RequestClass { dataset: 9, shrink: 1 });
+    }
+
+    #[test]
+    fn entries_iterate_in_class_order() {
+        let mut t = CostTable::new(1.0);
+        t.insert(RequestClass { dataset: 1, shrink: 1 }, ClassCost { cycles: 2, flops: 2 });
+        t.insert(RequestClass { dataset: 0, shrink: 2 }, ClassCost { cycles: 1, flops: 1 });
+        let classes: Vec<RequestClass> = t.entries().map(|(c, _)| c).collect();
+        assert_eq!(
+            classes,
+            vec![RequestClass { dataset: 0, shrink: 2 }, RequestClass { dataset: 1, shrink: 1 }]
+        );
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! The multi-chip shard model: a fleet of identical simulated NeuraChip
+//! instances, each serving one batch at a time.
+//!
+//! Shards carry no per-request state — the queueing simulation holds the
+//! backlog centrally — so a shard is just a busy-until horizon plus the
+//! counters behind the per-shard utilisation metrics. Dispatch always picks
+//! the least-loaded shard (earliest busy-until, ties broken by shard index),
+//! which keeps the fleet deterministic and work-conserving.
+
+/// Aggregate counters of one shard over a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShardStats {
+    /// Total seconds the shard spent serving batches.
+    pub busy_s: f64,
+    /// Batches the shard served.
+    pub batches: u64,
+    /// Requests the shard served (across all its batches).
+    pub requests: u64,
+}
+
+/// A fleet of identical accelerator shards.
+#[derive(Debug, Clone)]
+pub struct ShardFleet {
+    busy_until: Vec<f64>,
+    stats: Vec<ShardStats>,
+}
+
+impl ShardFleet {
+    /// Creates a fleet of `shards` idle shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a fleet needs at least one shard");
+        ShardFleet { busy_until: vec![0.0; shards], stats: vec![ShardStats::default(); shards] }
+    }
+
+    /// Number of shards in the fleet.
+    pub fn len(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Whether the fleet has no shards (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.busy_until.is_empty()
+    }
+
+    /// The least-loaded shard that is idle at `now` (earliest busy-until,
+    /// ties broken by index), if any.
+    pub fn idle_shard(&self, now: f64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, &until) in self.busy_until.iter().enumerate() {
+            if until <= now && best.is_none_or(|b| until < self.busy_until[b]) {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// The earliest time any shard becomes free.
+    pub fn next_free_at(&self) -> f64 {
+        self.busy_until.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Starts a batch of `requests` requests on `shard` at `now` for
+    /// `service_s` seconds; returns the batch completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shard is still busy at `now` — the simulation only
+    /// dispatches to idle shards.
+    pub fn dispatch(&mut self, shard: usize, now: f64, service_s: f64, requests: u64) -> f64 {
+        assert!(
+            self.busy_until[shard] <= now,
+            "shard {shard} is busy until {} at {now}",
+            self.busy_until[shard]
+        );
+        let finish = now + service_s;
+        self.busy_until[shard] = finish;
+        self.stats[shard].busy_s += service_s;
+        self.stats[shard].batches += 1;
+        self.stats[shard].requests += requests;
+        finish
+    }
+
+    /// Per-shard counters, in shard order.
+    pub fn stats(&self) -> &[ShardStats] {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_prefers_the_longest_idle_shard_then_the_lowest_index() {
+        let mut fleet = ShardFleet::new(3);
+        assert_eq!(fleet.idle_shard(0.0), Some(0), "all idle: lowest index wins");
+        fleet.dispatch(0, 0.0, 2.0, 1);
+        fleet.dispatch(1, 0.0, 1.0, 1);
+        // At t=1.5 shard 1 (free since 1.0) and shard 2 (free since 0.0)
+        // are idle; shard 2 has been idle longer.
+        assert_eq!(fleet.idle_shard(1.5), Some(2));
+        fleet.dispatch(2, 1.5, 5.0, 1);
+        assert_eq!(fleet.idle_shard(1.5), Some(1));
+        fleet.dispatch(1, 1.5, 5.0, 1);
+        assert_eq!(fleet.idle_shard(1.5), None, "every shard busy");
+        assert!((fleet.next_free_at() - 2.0).abs() < 1e-12, "shard 0 frees first");
+    }
+
+    #[test]
+    fn stats_accumulate_busy_time_batches_and_requests() {
+        let mut fleet = ShardFleet::new(2);
+        fleet.dispatch(0, 0.0, 1.5, 4);
+        fleet.dispatch(0, 2.0, 0.5, 1);
+        let stats = fleet.stats()[0];
+        assert!((stats.busy_s - 2.0).abs() < 1e-12);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.requests, 5);
+        assert_eq!(fleet.stats()[1], ShardStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "is busy until")]
+    fn dispatching_to_a_busy_shard_is_a_bug() {
+        let mut fleet = ShardFleet::new(1);
+        fleet.dispatch(0, 0.0, 2.0, 1);
+        fleet.dispatch(0, 1.0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_fleet_is_rejected() {
+        ShardFleet::new(0);
+    }
+}

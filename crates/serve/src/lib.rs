@@ -1,0 +1,49 @@
+//! `neura_serve` — request-stream serving simulation over the NeuraChip
+//! model.
+//!
+//! The rest of the workspace evaluates the accelerator one kernel at a
+//! time; this crate models what happens when *many* GNN/SpGEMM inference
+//! requests contend for a fleet of simulated chips: open-loop arrival
+//! streams, scheduling/batching policies and multi-chip sharding, measured
+//! as tail latency, sustained throughput, queue depth and per-shard
+//! utilisation. Data flows through five modules:
+//!
+//! 1. **[`arrivals`]** — a [`StreamSpec`] (Poisson or bursty on/off
+//!    arrivals, target rate, duration, request mix) expands into a
+//!    deterministic, time-sorted request stream via the workspace's seeded
+//!    `StdRng`.
+//! 2. **[`cost`]** — a [`CostTable`] memoises the cycle cost of one request
+//!    per [`RequestClass`] (dataset × per-request shrink), measured once on
+//!    the fleet's `ChipConfig` through the existing cycle-level `neura_chip`
+//!    execution path, so large streams never re-simulate the chip.
+//! 3. **[`policy`]** — FIFO, shortest-job-first (weighted by
+//!    `WorkloadProfile::flops`) and batch-by-dataset (max-batch-size /
+//!    timeout knobs) dispatch ordering.
+//! 4. **[`fleet`]** — the shard model: identical chip replicas, each batch
+//!    dispatched to the least-loaded idle shard.
+//! 5. **[`sim`]** — the event-driven replay producing a [`ServeOutcome`]:
+//!    p50/p95/p99 latency, throughput, queue depth and utilisation, emitted
+//!    as `neura_lab` `RunRecord`s.
+//!
+//! On top sits **[`spec`]**: a [`ServeSweep`] enumerates arrival × rate ×
+//! policy × shards scenarios with stable IDs and stream seeds derived from
+//! the arrival axes only — so every policy/shard arm replays the identical
+//! stream — ready to fan out on `neura_lab::Runner` (the `serve` binary in
+//! `neura_bench` does exactly that, and its artifact is byte-identical for
+//! any `NEURA_LAB_THREADS`).
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod cost;
+pub mod fleet;
+pub mod policy;
+pub mod sim;
+pub mod spec;
+
+pub use arrivals::{ArrivalProcess, Request, StreamSpec};
+pub use cost::{ClassCost, CostTable, RequestClass};
+pub use fleet::{ShardFleet, ShardStats};
+pub use policy::Policy;
+pub use sim::{simulate, ServeOutcome};
+pub use spec::{ServeScenario, ServeSweep};

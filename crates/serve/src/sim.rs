@@ -1,0 +1,486 @@
+//! The event-driven serving simulation and its metrics.
+//!
+//! [`simulate`] replays one scenario: a pre-generated request stream flows
+//! into a central backlog, the scheduling [`Policy`] turns the backlog into
+//! dispatch units (single requests for FIFO/SJF, per-class batches for the
+//! batching policy), and each unit is charged its memoised service time on
+//! the least-loaded idle shard of a [`ShardFleet`]. The loop advances
+//! through a deterministic event sequence — next arrival, next shard
+//! becoming free, next batch timeout — so the outcome is a pure function of
+//! `(stream, policy, shards, costs)`; nothing about wall-clock time or
+//! thread scheduling can leak into the metrics.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use neura_lab::RunRecord;
+
+use crate::arrivals::Request;
+use crate::cost::{CostTable, RequestClass};
+use crate::fleet::{ShardFleet, ShardStats};
+use crate::policy::Policy;
+
+/// Everything one scenario replay measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Per-request latency (completion − arrival) in seconds, id-ordered.
+    pub latencies_s: Vec<f64>,
+    /// Time of the last batch completion (0 for an empty stream).
+    pub makespan_s: f64,
+    /// Time-weighted mean backlog depth over the makespan.
+    pub queue_depth_mean: f64,
+    /// Largest backlog depth observed at any event.
+    pub queue_depth_max: usize,
+    /// Size of every dispatched batch, in dispatch order.
+    pub batch_sizes: Vec<usize>,
+    /// Per-shard counters.
+    pub shard_stats: Vec<ShardStats>,
+}
+
+impl ServeOutcome {
+    /// Number of requests served.
+    pub fn requests(&self) -> usize {
+        self.latencies_s.len()
+    }
+
+    /// Latency percentile in seconds (nearest-rank; 0 for an empty stream).
+    ///
+    /// Sorts the latency vector per call — when reading several
+    /// percentiles, use [`Self::latency_percentiles_s`] to sort once.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < pct ≤ 100`.
+    pub fn latency_percentile_s(&self, pct: f64) -> f64 {
+        self.latency_percentiles_s(&[pct])[0]
+    }
+
+    /// Several latency percentiles in seconds from a single sort
+    /// (nearest-rank; 0 for an empty stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every percentile is within `(0, 100]`.
+    pub fn latency_percentiles_s(&self, pcts: &[f64]) -> Vec<f64> {
+        let mut sorted = self.latencies_s.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        pcts.iter()
+            .map(|&pct| {
+                assert!(pct > 0.0 && pct <= 100.0, "percentile must be within (0, 100]");
+                if sorted.is_empty() {
+                    return 0.0;
+                }
+                let rank = (pct / 100.0 * sorted.len() as f64).ceil() as usize;
+                sorted[rank.clamp(1, sorted.len()) - 1]
+            })
+            .collect()
+    }
+
+    /// Mean latency in seconds (0 for an empty stream).
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.latencies_s.is_empty() {
+            0.0
+        } else {
+            self.latencies_s.iter().sum::<f64>() / self.latencies_s.len() as f64
+        }
+    }
+
+    /// Sustained throughput: requests served per second of makespan.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.requests() as f64 / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean dispatched batch size (0 when nothing was dispatched).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batch_sizes.is_empty() {
+            0.0
+        } else {
+            self.batch_sizes.iter().sum::<usize>() as f64 / self.batch_sizes.len() as f64
+        }
+    }
+
+    /// Largest dispatched batch.
+    pub fn max_batch_size(&self) -> usize {
+        self.batch_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-shard utilisation: busy seconds over the makespan.
+    pub fn utilisations(&self) -> Vec<f64> {
+        self.shard_stats
+            .iter()
+            .map(|s| if self.makespan_s > 0.0 { s.busy_s / self.makespan_s } else { 0.0 })
+            .collect()
+    }
+
+    /// The artifact records describing this outcome: one scenario summary
+    /// (tail latencies, throughput, queue depth, batching) followed by one
+    /// record per shard (utilisation, busy time, served counts). `scope`
+    /// prefixes every record ID and `params` is attached to each record.
+    pub fn records(&self, scope: &str, params: &[(String, String)]) -> Vec<RunRecord> {
+        let tails = self.latency_percentiles_s(&[50.0, 95.0, 99.0]);
+        let mut summary = RunRecord::new(format!("{scope}/summary"))
+            .metric("requests", self.requests() as f64)
+            .unit_metric("p50_latency_ms", tails[0] * 1e3, "ms")
+            .unit_metric("p95_latency_ms", tails[1] * 1e3, "ms")
+            .unit_metric("p99_latency_ms", tails[2] * 1e3, "ms")
+            .unit_metric("mean_latency_ms", self.mean_latency_s() * 1e3, "ms")
+            .unit_metric("throughput_rps", self.throughput_rps(), "req/s")
+            .unit_metric("makespan_s", self.makespan_s, "s")
+            .metric("queue_depth_mean", self.queue_depth_mean)
+            .metric("queue_depth_max", self.queue_depth_max as f64)
+            .metric("batches", self.batch_sizes.len() as f64)
+            .metric("mean_batch_size", self.mean_batch_size())
+            .metric("max_batch_size", self.max_batch_size() as f64);
+        summary.params = params.to_vec();
+        let mut records = vec![summary];
+        for (i, (stats, utilisation)) in
+            self.shard_stats.iter().zip(self.utilisations()).enumerate()
+        {
+            let mut record = RunRecord::new(format!("{scope}/shard{i}"))
+                .metric("utilization", utilisation)
+                .unit_metric("busy_s", stats.busy_s, "s")
+                .metric("batches", stats.batches as f64)
+                .metric("requests", stats.requests as f64);
+            record.params = params.to_vec();
+            record.params.push(("shard".to_string(), i.to_string()));
+            records.push(record);
+        }
+        records
+    }
+}
+
+/// The central backlog, shaped by the policy.
+enum Backlog {
+    /// FIFO / SJF: one queue in arrival order.
+    Single(VecDeque<usize>),
+    /// Batching: one arrival-ordered queue per request class.
+    Classed(BTreeMap<RequestClass, VecDeque<usize>>),
+}
+
+impl Backlog {
+    fn new(policy: Policy) -> Self {
+        match policy {
+            Policy::Fifo | Policy::Sjf => Backlog::Single(VecDeque::new()),
+            Policy::BatchByDataset { .. } => Backlog::Classed(BTreeMap::new()),
+        }
+    }
+
+    fn push(&mut self, id: usize, class: RequestClass) {
+        match self {
+            Backlog::Single(queue) => queue.push_back(id),
+            Backlog::Classed(queues) => queues.entry(class).or_default().push_back(id),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Backlog::Single(queue) => queue.len(),
+            Backlog::Classed(queues) => queues.values().map(VecDeque::len).sum(),
+        }
+    }
+
+    /// Whether some dispatch unit is ready at `now`.
+    fn has_ready(&self, now: f64, policy: Policy, requests: &[Request]) -> bool {
+        match (self, policy) {
+            (Backlog::Single(queue), _) => !queue.is_empty(),
+            (Backlog::Classed(queues), Policy::BatchByDataset { max_batch, timeout_s }) => {
+                queues.values().any(|q| class_ready(q, requests, max_batch, timeout_s, now))
+            }
+            (Backlog::Classed(_), _) => unreachable!("classed backlog implies batching policy"),
+        }
+    }
+
+    /// The earliest future time at which a currently-unready unit becomes
+    /// ready by timeout (batching policy only).
+    fn next_deadline(&self, now: f64, policy: Policy, requests: &[Request]) -> Option<f64> {
+        let (Backlog::Classed(queues), Policy::BatchByDataset { max_batch, timeout_s }) =
+            (self, policy)
+        else {
+            return None;
+        };
+        queues
+            .values()
+            .filter(|q| !class_ready(q, requests, max_batch, timeout_s, now))
+            .filter_map(|q| q.front().map(|&id| requests[id].arrival_s + timeout_s))
+            .fold(None, |best, t| Some(best.map_or(t, |b: f64| b.min(t))))
+    }
+
+    /// Removes and returns the next ready dispatch unit at `now`, if any.
+    fn take_ready(
+        &mut self,
+        now: f64,
+        policy: Policy,
+        requests: &[Request],
+        costs: &CostTable,
+    ) -> Option<Vec<usize>> {
+        match (self, policy) {
+            (Backlog::Single(queue), Policy::Fifo) => queue.pop_front().map(|id| vec![id]),
+            (Backlog::Single(queue), Policy::Sjf) => {
+                // Smallest estimated work first; arrival order (the queue
+                // order) breaks ties because `min_by_key` keeps the first
+                // minimum.
+                let pos = queue
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &id)| (costs.weight(requests[id].class), id))
+                    .map(|(pos, _)| pos)?;
+                queue.remove(pos).map(|id| vec![id])
+            }
+            (Backlog::Classed(queues), Policy::BatchByDataset { max_batch, timeout_s }) => {
+                // Among ready classes, serve the one whose head request has
+                // waited longest (ties broken by class order — the BTreeMap
+                // key order — so selection is deterministic).
+                let class = queues
+                    .iter()
+                    .filter(|(_, q)| class_ready(q, requests, max_batch, timeout_s, now))
+                    .min_by(|(ca, qa), (cb, qb)| {
+                        let (ha, hb) = (head_arrival(qa, requests), head_arrival(qb, requests));
+                        ha.partial_cmp(&hb).expect("arrival times are finite").then(ca.cmp(cb))
+                    })
+                    .map(|(class, _)| *class)?;
+                let queue = queues.get_mut(&class).expect("selected class is present");
+                let take = queue.len().min(max_batch);
+                let batch: Vec<usize> = queue.drain(..take).collect();
+                if queue.is_empty() {
+                    queues.remove(&class);
+                }
+                Some(batch)
+            }
+            _ => unreachable!("backlog shape always matches the policy"),
+        }
+    }
+}
+
+fn head_arrival(queue: &VecDeque<usize>, requests: &[Request]) -> f64 {
+    queue.front().map(|&id| requests[id].arrival_s).unwrap_or(f64::INFINITY)
+}
+
+fn class_ready(
+    queue: &VecDeque<usize>,
+    requests: &[Request],
+    max_batch: usize,
+    timeout_s: f64,
+    now: f64,
+) -> bool {
+    queue.len() >= max_batch || head_arrival(queue, requests) + timeout_s <= now
+}
+
+/// Replays one serving scenario and returns its metrics.
+///
+/// `requests` must be sorted by arrival time (as [`StreamSpec::generate`]
+/// produces them) and every request class must be memoised in `costs`.
+///
+/// [`StreamSpec::generate`]: crate::arrivals::StreamSpec::generate
+///
+/// # Panics
+///
+/// Panics when the stream is unsorted, a request class is missing from the
+/// cost table, or `shards == 0`.
+pub fn simulate(
+    requests: &[Request],
+    policy: Policy,
+    shards: usize,
+    costs: &CostTable,
+) -> ServeOutcome {
+    assert!(
+        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "request streams must be sorted by arrival time"
+    );
+    let n = requests.len();
+    let mut fleet = ShardFleet::new(shards);
+    let mut backlog = Backlog::new(policy);
+    let mut latencies = vec![f64::NAN; n];
+    let mut batch_sizes = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+    let mut makespan = 0.0f64;
+    let mut depth_integral = 0.0f64;
+    let mut depth_max = 0usize;
+
+    loop {
+        // Dispatch every unit that is ready while an idle shard exists.
+        while let Some(shard) = fleet.idle_shard(now) {
+            let Some(batch) = backlog.take_ready(now, policy, requests, costs) else {
+                break;
+            };
+            let class = requests[batch[0]].class;
+            let finish = fleet.dispatch(
+                shard,
+                now,
+                costs.service_seconds(class, batch.len()),
+                batch.len() as u64,
+            );
+            for &id in &batch {
+                latencies[id] = finish - requests[id].arrival_s;
+            }
+            makespan = makespan.max(finish);
+            batch_sizes.push(batch.len());
+        }
+
+        // The next event: an arrival, a shard freeing up (only relevant
+        // while a ready unit waits), or a batch timeout expiring. After the
+        // dispatch loop each of these lies strictly in the future, so every
+        // iteration advances time.
+        let mut t_next = f64::INFINITY;
+        if next_arrival < n {
+            t_next = t_next.min(requests[next_arrival].arrival_s);
+        }
+        if backlog.has_ready(now, policy, requests) {
+            t_next = t_next.min(fleet.next_free_at());
+        }
+        if let Some(deadline) = backlog.next_deadline(now, policy, requests) {
+            t_next = t_next.min(deadline);
+        }
+        if !t_next.is_finite() {
+            break;
+        }
+        depth_integral += backlog.len() as f64 * (t_next - now);
+        now = t_next;
+        while next_arrival < n && requests[next_arrival].arrival_s <= now {
+            backlog.push(next_arrival, requests[next_arrival].class);
+            next_arrival += 1;
+        }
+        depth_max = depth_max.max(backlog.len());
+    }
+
+    debug_assert!(latencies.iter().all(|l| l.is_finite()), "every request is served");
+    ServeOutcome {
+        latencies_s: latencies,
+        makespan_s: makespan,
+        queue_depth_mean: if makespan > 0.0 { depth_integral / makespan } else { 0.0 },
+        queue_depth_max: depth_max,
+        batch_sizes,
+        shard_stats: fleet.stats().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ClassCost;
+
+    /// One class, one second of service per request, 1 ns per "cycle".
+    fn unit_costs() -> CostTable {
+        let mut costs = CostTable::new(1e-9).with_marginal_fraction(0.5);
+        costs.insert(
+            RequestClass { dataset: 0, shrink: 1 },
+            ClassCost { cycles: 1_000_000_000, flops: 10 },
+        );
+        costs.insert(
+            RequestClass { dataset: 1, shrink: 1 },
+            ClassCost { cycles: 500_000_000, flops: 5 },
+        );
+        costs
+    }
+
+    fn request(id: usize, arrival_s: f64, dataset: usize) -> Request {
+        Request { id, arrival_s, class: RequestClass { dataset, shrink: 1 } }
+    }
+
+    #[test]
+    fn fifo_on_one_shard_serialises_requests() {
+        let stream = [request(0, 0.0, 0), request(1, 0.1, 0)];
+        let outcome = simulate(&stream, Policy::Fifo, 1, &unit_costs());
+        // Request 0: served 0.0–1.0 (latency 1.0); request 1 waits for the
+        // shard, served 1.0–2.0 (latency 1.9).
+        assert!((outcome.latencies_s[0] - 1.0).abs() < 1e-12);
+        assert!((outcome.latencies_s[1] - 1.9).abs() < 1e-12);
+        assert!((outcome.makespan_s - 2.0).abs() < 1e-12);
+        assert_eq!(outcome.batch_sizes, vec![1, 1]);
+        assert_eq!(outcome.shard_stats[0].requests, 2);
+        assert!((outcome.utilisations()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_second_shard_absorbs_the_queueing_delay() {
+        let stream = [request(0, 0.0, 0), request(1, 0.1, 0)];
+        let outcome = simulate(&stream, Policy::Fifo, 2, &unit_costs());
+        assert!((outcome.latencies_s[0] - 1.0).abs() < 1e-12);
+        assert!((outcome.latencies_s[1] - 1.0).abs() < 1e-12, "no wait on the idle shard");
+        assert!((outcome.makespan_s - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sjf_reorders_the_backlog_by_work() {
+        // Both queued behind the in-flight request; the cheap dataset-1
+        // request (0.5 s) jumps ahead of the earlier dataset-0 one.
+        let stream = [request(0, 0.0, 0), request(1, 0.01, 0), request(2, 0.02, 1)];
+        let outcome = simulate(&stream, Policy::Sjf, 1, &unit_costs());
+        assert!((outcome.latencies_s[2] - (1.5 - 0.02)).abs() < 1e-12, "short job served first");
+        assert!((outcome.latencies_s[1] - (2.5 - 0.01)).abs() < 1e-12, "long job served last");
+    }
+
+    #[test]
+    fn batching_groups_same_class_requests_and_amortises_cost() {
+        let stream = [request(0, 0.0, 0), request(1, 0.001, 0)];
+        let outcome = simulate(&stream, Policy::batch(2, 1.0), 1, &unit_costs());
+        // Both arrive before the batch fills at max_batch = 2; the batch of
+        // two costs 1.0 * (1 + 0.5) = 1.5 s and dispatches at t = 0.001.
+        assert_eq!(outcome.batch_sizes, vec![2]);
+        assert!((outcome.latencies_s[0] - 1.501).abs() < 1e-12);
+        assert!((outcome.latencies_s[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_batches_flush_at_the_timeout() {
+        let stream = [request(0, 0.0, 0)];
+        let outcome = simulate(&stream, Policy::batch(8, 0.25), 1, &unit_costs());
+        // The lone request waits out the 0.25 s timeout before dispatching.
+        assert_eq!(outcome.batch_sizes, vec![1]);
+        assert!((outcome.latencies_s[0] - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_depth_tracks_the_backlog() {
+        let stream =
+            [request(0, 0.0, 0), request(1, 0.1, 0), request(2, 0.1, 0), request(3, 0.1, 0)];
+        let outcome = simulate(&stream, Policy::Fifo, 1, &unit_costs());
+        assert_eq!(outcome.queue_depth_max, 3, "three requests queue behind the first");
+        assert!(outcome.queue_depth_mean > 0.0);
+    }
+
+    #[test]
+    fn empty_streams_produce_zeroed_metrics() {
+        let outcome = simulate(&[], Policy::Fifo, 2, &unit_costs());
+        assert_eq!(outcome.requests(), 0);
+        assert_eq!(outcome.throughput_rps(), 0.0);
+        assert_eq!(outcome.latency_percentile_s(99.0), 0.0);
+        assert_eq!(outcome.mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn records_carry_tail_latency_throughput_and_shard_utilisation() {
+        let stream = [request(0, 0.0, 0), request(1, 0.1, 1)];
+        let outcome = simulate(&stream, Policy::Fifo, 2, &unit_costs());
+        let params = vec![("policy".to_string(), "fifo".to_string())];
+        let records = outcome.records("serve/demo", &params);
+        assert_eq!(records.len(), 3, "one summary + one record per shard");
+        let summary = &records[0];
+        assert_eq!(summary.id, "serve/demo/summary");
+        assert!(summary.metric_value("p99_latency_ms").unwrap() > 0.0);
+        assert!(summary.metric_value("throughput_rps").unwrap() > 0.0);
+        assert_eq!(summary.params, params);
+        assert_eq!(records[1].id, "serve/demo/shard0");
+        assert!(records[1].metric_value("utilization").is_some());
+        assert!(records[2].params.contains(&("shard".to_string(), "1".to_string())));
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let outcome = ServeOutcome {
+            latencies_s: vec![4.0, 1.0, 3.0, 2.0],
+            makespan_s: 4.0,
+            queue_depth_mean: 0.0,
+            queue_depth_max: 0,
+            batch_sizes: vec![1; 4],
+            shard_stats: vec![ShardStats::default()],
+        };
+        assert_eq!(outcome.latency_percentile_s(50.0), 2.0);
+        assert_eq!(outcome.latency_percentile_s(75.0), 3.0);
+        assert_eq!(outcome.latency_percentile_s(99.0), 4.0);
+        assert_eq!(outcome.latency_percentile_s(100.0), 4.0);
+    }
+}

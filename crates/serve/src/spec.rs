@@ -1,0 +1,238 @@
+//! Declarative serving sweeps: arrival process × arrival rate × policy ×
+//! shard count, enumerated as stable scenarios for the `neura_lab` runner.
+//!
+//! Mirrors the design of `neura_lab::spec`: scenarios are enumerated in a
+//! stable, documented order with stable human-readable IDs, and each
+//! scenario's stream seed is derived by hashing the sweep name, the arrival
+//! process and the rate — deliberately *excluding* the policy and shard
+//! axes, so every policy/shard arm of a comparison replays the identical
+//! request stream and differs only in how it is served.
+
+use neura_lab::spec::derive_seed;
+
+use crate::arrivals::{ArrivalProcess, StreamSpec};
+use crate::policy::Policy;
+
+/// The axes of a serving sweep. An empty axis contributes its single
+/// default setting (Poisson arrivals, [`DEFAULT_RPS`], FIFO, one shard).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeSweep {
+    /// Arrival processes to sweep.
+    pub arrivals: Vec<ArrivalProcess>,
+    /// Mean arrival rates (requests/second) to sweep.
+    pub rps: Vec<f64>,
+    /// Scheduling/batching policies to sweep.
+    pub policies: Vec<Policy>,
+    /// Shard counts to sweep.
+    pub shards: Vec<usize>,
+}
+
+/// Arrival rate used when the rate axis is left empty.
+pub const DEFAULT_RPS: f64 = 800.0;
+
+impl ServeSweep {
+    /// An empty sweep: one all-default scenario.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the arrival-process axis (builder style).
+    pub fn arrivals(mut self, arrivals: impl IntoIterator<Item = ArrivalProcess>) -> Self {
+        self.arrivals = arrivals.into_iter().collect();
+        self
+    }
+
+    /// Sets the arrival-rate axis (builder style).
+    pub fn rps(mut self, rps: impl IntoIterator<Item = f64>) -> Self {
+        self.rps = rps.into_iter().collect();
+        self
+    }
+
+    /// Sets the policy axis (builder style).
+    pub fn policies(mut self, policies: impl IntoIterator<Item = Policy>) -> Self {
+        self.policies = policies.into_iter().collect();
+        self
+    }
+
+    /// Sets the shard-count axis (builder style).
+    pub fn shards(mut self, shards: impl IntoIterator<Item = usize>) -> Self {
+        self.shards = shards.into_iter().collect();
+        self
+    }
+
+    /// Number of scenarios the sweep enumerates.
+    pub fn len(&self) -> usize {
+        [self.arrivals.len(), self.rps.len(), self.policies.len(), self.shards.len()]
+            .iter()
+            .map(|&n| n.max(1))
+            .product()
+    }
+
+    /// Whether the sweep enumerates exactly one all-default scenario.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Enumerates every scenario in a stable order (arrival-major, then
+    /// rate, policy and shard count — the last axis varies fastest), with
+    /// stream seeds derived from `(base_seed, name, arrival, rps)` only.
+    pub fn scenarios(&self, name: &str, base_seed: u64) -> Vec<ServeScenario> {
+        let arrivals = if self.arrivals.is_empty() {
+            vec![ArrivalProcess::Poisson]
+        } else {
+            self.arrivals.clone()
+        };
+        let rates = if self.rps.is_empty() { vec![DEFAULT_RPS] } else { self.rps.clone() };
+        let policies =
+            if self.policies.is_empty() { vec![Policy::Fifo] } else { self.policies.clone() };
+        let shards = if self.shards.is_empty() { vec![1] } else { self.shards.clone() };
+
+        let mut scenarios = Vec::with_capacity(self.len());
+        for &arrival in &arrivals {
+            for &rps in &rates {
+                let seed = derive_seed(base_seed, &format!("{name}/{}/rps{rps:?}", arrival.name()));
+                for &policy in &policies {
+                    for &shard_count in &shards {
+                        scenarios.push(ServeScenario {
+                            index: scenarios.len(),
+                            id: format!(
+                                "{name}/{}/rps{rps:?}/{}/s{shard_count}",
+                                arrival.name(),
+                                policy.name()
+                            ),
+                            arrival,
+                            rps,
+                            policy,
+                            shards: shard_count,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+}
+
+/// One enumerated serving scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeScenario {
+    /// Position in the sweep's enumeration order (0-based).
+    pub index: usize,
+    /// Stable run ID: `<name>/<arrival>/rps<r>/<policy>/s<shards>`.
+    pub id: String,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Mean arrival rate in requests per second.
+    pub rps: f64,
+    /// Scheduling/batching policy.
+    pub policy: Policy,
+    /// Number of accelerator shards.
+    pub shards: usize,
+    /// Stream seed (shared across all policy/shard arms of this stream).
+    pub seed: u64,
+}
+
+impl ServeScenario {
+    /// The ordered `(key, value)` parameter list recorded in artifacts.
+    pub fn params(&self) -> Vec<(String, String)> {
+        let mut params = vec![
+            ("arrival".to_string(), self.arrival.name().to_string()),
+            ("rps".to_string(), format!("{:?}", self.rps)),
+            ("policy".to_string(), self.policy.name()),
+        ];
+        if let Policy::BatchByDataset { max_batch, timeout_s } = self.policy {
+            params.push(("max_batch".to_string(), max_batch.to_string()));
+            params.push(("batch_timeout_ms".to_string(), format!("{:?}", timeout_s * 1e3)));
+        }
+        params.push(("shards".to_string(), self.shards.to_string()));
+        params.push(("seed".to_string(), self.seed.to_string()));
+        params
+    }
+
+    /// The stream this scenario replays, given the sweep-wide knobs that
+    /// are not swept (duration, mix size, request shrink classes).
+    pub fn stream_spec(&self, duration_s: f64, mix_size: usize, shrinks: &[usize]) -> StreamSpec {
+        StreamSpec {
+            arrival: self.arrival,
+            rps: self.rps,
+            duration_s,
+            mix_size,
+            shrinks: shrinks.to_vec(),
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sweep_is_one_default_scenario() {
+        let scenarios = ServeSweep::new().scenarios("serve", 1);
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].id, "serve/poisson/rps800.0/fifo/s1");
+        assert_eq!(scenarios[0].shards, 1);
+    }
+
+    #[test]
+    fn enumeration_order_is_arrival_major_and_ids_are_unique() {
+        let sweep = ServeSweep::new()
+            .arrivals(ArrivalProcess::ALL)
+            .rps([200.0, 400.0])
+            .policies([Policy::Fifo, Policy::Sjf])
+            .shards([1, 2]);
+        let scenarios = sweep.scenarios("s", 9);
+        assert_eq!(scenarios.len(), sweep.len());
+        assert_eq!(scenarios.len(), 16);
+        assert_eq!(scenarios[0].id, "s/poisson/rps200.0/fifo/s1");
+        assert_eq!(scenarios[1].id, "s/poisson/rps200.0/fifo/s2");
+        assert_eq!(scenarios[15].id, "s/bursty/rps400.0/sjf/s2");
+        let ids: std::collections::HashSet<&str> =
+            scenarios.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids.len(), scenarios.len());
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+    }
+
+    #[test]
+    fn seeds_are_shared_across_policy_and_shard_arms_only() {
+        let sweep = ServeSweep::new()
+            .rps([200.0, 400.0])
+            .policies([Policy::Fifo, Policy::Sjf, Policy::batch(8, 0.005)])
+            .shards([1, 2, 4]);
+        let scenarios = sweep.scenarios("serve", 42);
+        let rate_of = |s: &ServeScenario| s.rps;
+        for a in &scenarios {
+            for b in &scenarios {
+                if rate_of(a) == rate_of(b) {
+                    assert_eq!(a.seed, b.seed, "{} vs {}", a.id, b.id);
+                } else {
+                    assert_ne!(a.seed, b.seed, "{} vs {}", a.id, b.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn params_describe_the_scenario_including_batch_knobs() {
+        let sweep = ServeSweep::new().policies([Policy::batch(16, 0.01)]).shards([4]);
+        let scenario = &sweep.scenarios("serve", 1)[0];
+        let params = scenario.params();
+        assert!(params.contains(&("policy".into(), "batch16".into())));
+        assert!(params.contains(&("max_batch".into(), "16".into())));
+        assert!(params.contains(&("batch_timeout_ms".into(), "10.0".into())));
+        assert!(params.contains(&("shards".into(), "4".into())));
+    }
+
+    #[test]
+    fn stream_spec_carries_the_scenario_seed() {
+        let scenario = &ServeSweep::new().scenarios("serve", 7)[0];
+        let stream = scenario.stream_spec(2.0, 3, &[1, 2]);
+        assert_eq!(stream.seed, scenario.seed);
+        assert_eq!(stream.mix_size, 3);
+        assert_eq!(stream.shrinks, vec![1, 2]);
+    }
+}

@@ -1,0 +1,67 @@
+//! The serving artifact contract, mirroring `tune_determinism.rs`: a serve
+//! sweep executed on the `neura_lab` runner must produce byte-identical
+//! artifact JSON for any worker count, and repeat runs of the same sweep
+//! must reproduce the bytes exactly.
+
+use neura_lab::{Artifact, Runner};
+use neura_serve::{
+    simulate, ArrivalProcess, ClassCost, CostTable, Policy, RequestClass, ServeSweep,
+};
+
+fn costs() -> CostTable {
+    let mut costs = CostTable::new(1e-9);
+    for dataset in 0..2 {
+        for shrink in [1usize, 2] {
+            costs.insert(
+                RequestClass { dataset, shrink },
+                ClassCost {
+                    cycles: 1_500_000 * (dataset as u64 + 1) / shrink as u64,
+                    flops: 100 * (dataset as u64 + 1) / shrink as u64,
+                },
+            );
+        }
+    }
+    costs
+}
+
+fn run_with(threads: usize) -> String {
+    let sweep = ServeSweep::new()
+        .arrivals(ArrivalProcess::ALL)
+        .rps([300.0, 900.0])
+        .policies([Policy::Fifo, Policy::Sjf, Policy::batch(4, 0.002)])
+        .shards([1, 3]);
+    let scenarios = sweep.scenarios("det", 42);
+    assert_eq!(scenarios.len(), 24);
+    let table = costs();
+    let outcomes = Runner::new(threads).run(&scenarios, |_, scenario| {
+        let stream = scenario.stream_spec(1.0, 2, &[1, 2]).generate();
+        simulate(&stream, scenario.policy, scenario.shards, &table)
+    });
+    let mut artifact = Artifact::new("serve", 1);
+    for (scenario, outcome) in scenarios.iter().zip(&outcomes) {
+        artifact.extend(outcome.records(&scenario.id, &scenario.params()));
+    }
+    artifact.to_bytes()
+}
+
+#[test]
+fn two_and_eight_thread_sweeps_emit_identical_bytes() {
+    let two = run_with(2);
+    let eight = run_with(8);
+    assert!(!two.is_empty());
+    assert_eq!(two, eight, "serve artifact bytes must not depend on the thread count");
+    assert_eq!(two, run_with(2), "repeat runs reproduce the bytes exactly");
+
+    // The bytes round-trip through the parser: 24 scenarios, each one
+    // summary + per-shard records, every record carrying metrics.
+    let parsed = Artifact::from_json(&neura_lab::parse_json(&two).unwrap()).unwrap();
+    let summaries = parsed.records.iter().filter(|r| r.id.ends_with("/summary")).count();
+    assert_eq!(summaries, 24);
+    assert!(parsed.records.iter().all(|r| !r.metrics.is_empty()));
+    assert!(parsed
+        .records
+        .iter()
+        .filter(|r| r.id.ends_with("/summary"))
+        .all(|r| r.metric_value("p99_latency_ms").is_some()
+            && r.metric_value("throughput_rps").is_some()));
+}

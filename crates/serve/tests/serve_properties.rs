@@ -1,0 +1,129 @@
+//! Property tests of the serving layer: generated streams are sorted,
+//! deterministic per seed and respect the configured rate; batches never
+//! exceed the configured maximum; every request is served exactly once by
+//! every policy; and adding shards at a fixed arrival rate never worsens
+//! tail latency.
+
+use neura_serve::{
+    simulate, ArrivalProcess, ClassCost, CostTable, Policy, RequestClass, StreamSpec,
+};
+use proptest::prelude::*;
+
+/// A synthetic cost table covering every class a generated stream can draw:
+/// heavier datasets and lighter shrinks cost more, with enough spread that
+/// SJF reordering and batching amortisation are exercised.
+fn synthetic_costs(mix_size: usize, shrinks: &[usize]) -> CostTable {
+    let mut costs = CostTable::new(1e-9);
+    for dataset in 0..mix_size {
+        for &shrink in shrinks {
+            let cycles = 2_000_000 * (dataset as u64 + 1) / shrink as u64;
+            costs.insert(RequestClass { dataset, shrink }, ClassCost { cycles, flops: cycles });
+        }
+    }
+    costs
+}
+
+fn arb_stream() -> impl Strategy<Value = StreamSpec> {
+    (0usize..2, 200.0f64..600.0, 1usize..=3, 0u64..1_000).prop_map(
+        |(arrival, rps, mix_size, seed)| StreamSpec {
+            arrival: ArrivalProcess::ALL[arrival],
+            rps,
+            duration_s: 1.0,
+            mix_size,
+            shrinks: vec![1, 2, 4],
+            seed,
+        },
+    )
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    (0usize..3, 1usize..=6, 0.0f64..0.02).prop_map(|(kind, max_batch, timeout_s)| match kind {
+        0 => Policy::Fifo,
+        1 => Policy::Sjf,
+        _ => Policy::batch(max_batch, timeout_s),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Streams are time-sorted, reproducible per seed, and land within a
+    /// generous tolerance band of the configured mean rate.
+    #[test]
+    fn streams_are_sorted_deterministic_and_rate_respecting(spec in arb_stream()) {
+        let stream = spec.generate();
+        // Same spec, same stream.
+        prop_assert_eq!(&stream, &spec.generate());
+        prop_assert!(stream.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        for (i, request) in stream.iter().enumerate() {
+            prop_assert_eq!(request.id, i);
+            prop_assert!(request.arrival_s >= 0.0 && request.arrival_s < spec.duration_s);
+            prop_assert!(request.class.dataset < spec.mix_size);
+            prop_assert!(spec.shrinks.contains(&request.class.shrink));
+        }
+        // ≥ 200 expected arrivals: ±35% is > 5 sigma for a Poisson count.
+        let expected = spec.rps * spec.duration_s;
+        let n = stream.len() as f64;
+        prop_assert!(
+            (n - expected).abs() < expected * 0.35,
+            "{} arrivals vs {} expected", n, expected
+        );
+    }
+
+    /// Every policy serves every request exactly once, with non-negative
+    /// latency, and batches never exceed the configured maximum.
+    #[test]
+    fn every_request_is_served_exactly_once(spec in arb_stream(), policy in arb_policy(), shards in 1usize..=4) {
+        let stream = spec.generate();
+        let costs = synthetic_costs(spec.mix_size, &spec.shrinks);
+        let outcome = simulate(&stream, policy, shards, &costs);
+
+        prop_assert_eq!(outcome.requests(), stream.len());
+        // Every request appears in exactly one batch.
+        prop_assert_eq!(outcome.batch_sizes.iter().sum::<usize>(), stream.len());
+        let shard_total: u64 = outcome.shard_stats.iter().map(|s| s.requests).sum();
+        prop_assert_eq!(shard_total as usize, stream.len());
+        for (id, &latency) in outcome.latencies_s.iter().enumerate() {
+            let service = costs.service_seconds(stream[id].class, 1);
+            prop_assert!(latency.is_finite() && latency > 0.0);
+            prop_assert!(latency >= service * 0.999 - 1e-12,
+                "request {} finished faster ({}) than its own service time ({})",
+                id, latency, service);
+        }
+        if let Policy::BatchByDataset { max_batch, .. } = policy {
+            prop_assert!(outcome.batch_sizes.iter().all(|&b| b >= 1 && b <= max_batch));
+            // Batches are class-pure: amortisation never mixes datasets.
+            // (Checked indirectly: per-batch service uses the head request's
+            // class, so the simulate() API only stays honest if grouping is
+            // by class — the unit tests pin the grouping itself.)
+        } else {
+            prop_assert!(outcome.batch_sizes.iter().all(|&b| b == 1));
+        }
+    }
+
+    /// Work conservation: at a fixed arrival stream, adding shards never
+    /// worsens p99 latency under FIFO (the acceptance property the `serve`
+    /// binary's smoke check also pins).
+    #[test]
+    fn more_shards_never_worsen_fifo_p99(spec in arb_stream()) {
+        let stream = spec.generate();
+        let costs = synthetic_costs(spec.mix_size, &spec.shrinks);
+        let p99: Vec<f64> = [1usize, 2, 4]
+            .iter()
+            .map(|&shards| simulate(&stream, Policy::Fifo, shards, &costs).latency_percentile_s(99.0))
+            .collect();
+        prop_assert!(p99[0] >= p99[1] - 1e-9, "s1 {} vs s2 {}", p99[0], p99[1]);
+        prop_assert!(p99[1] >= p99[2] - 1e-9, "s2 {} vs s4 {}", p99[1], p99[2]);
+    }
+
+    /// Arms of a comparison replay identical streams: the outcome under one
+    /// policy is a pure function of (stream, policy, shards, costs).
+    #[test]
+    fn simulation_is_deterministic(spec in arb_stream(), policy in arb_policy()) {
+        let stream = spec.generate();
+        let costs = synthetic_costs(spec.mix_size, &spec.shrinks);
+        let a = simulate(&stream, policy, 2, &costs);
+        let b = simulate(&stream, policy, 2, &costs);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -2,11 +2,12 @@
 
 # The 11 paper-artifact binaries (keep in sync with the loop in ci.yml and
 # the BINARIES table in crates/bench/tests/bin_smoke.rs, which additionally
-# covers the `tune` binary — it takes its own flags, see `just tune`).
+# covers the `tune` and `serve` binaries — they take their own flags, see
+# `just tune` / `just serve`).
 bins := "table1 table3 table4 table5 fig11 fig13 fig14 fig15 fig16 fig17 ablation"
 
 # Run everything CI runs.
-ci: fmt clippy build test artifacts tune
+ci: fmt clippy build test artifacts tune serve
 
 # Formatting check (apply with `just fmt-fix`).
 fmt:
@@ -56,6 +57,27 @@ tune-paper:
     cargo run --release -q -p neura_bench --bin tune -- --json
     ls -l target/artifacts/tune.json
 
-# Criterion micro-benchmarks (stubbed offline: single-pass wall-clock timing).
+# Request-stream serving simulation at smoke scale (arrival x policy x
+# shard sweep); artifact collected at target/artifacts/serve.json.
+serve:
+    NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin serve -- --json
+    ls -l target/artifacts/serve.json
+
+# Serving scenarios at paper scale: memoised request costs come from
+# 256-2000-node cycle-level simulations, so tail latencies are in the
+# realistic millisecond band. Slow.
+serve-paper:
+    cargo run --release -q -p neura_bench --bin serve -- --json
+    ls -l target/artifacts/serve.json
+
+# Diff two artifact files or directories (e.g. a saved copy of
+# target/artifacts/ against a fresh run): per-metric absolute/relative
+# deltas. Add flags via just trend a b "--fail-above 2".
+trend before after *flags="":
+    cargo run --release -q -p neura_bench --bin trend -- {{before}} {{after}} {{flags}}
+
+# Criterion micro-benchmarks (stubbed offline: single-pass wall-clock
+# timing); measurements are also collected as lab artifacts under
+# target/artifacts/bench_*.json.
 bench:
-    cargo bench -p neura_bench
+    NEURA_CRITERION_JSON=target/artifacts cargo bench -p neura_bench

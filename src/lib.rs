@@ -4,5 +4,6 @@ pub use neura_chip as chip;
 pub use neura_lab as lab;
 pub use neura_mem as mem;
 pub use neura_noc as noc;
+pub use neura_serve as serve;
 pub use neura_sim as sim;
 pub use neura_sparse as sparse;

@@ -9,12 +9,103 @@
 //! small fixed sample is timed and the mean is printed.  Swap the
 //! `vendor/criterion` path dependency for the real crate when network access
 //! is available.
+//!
+//! Beyond the crates.io surface, the stub routes its measurements into the
+//! workspace's machine-readable artifact format: when the [`JSON_ENV`]
+//! environment variable is set, [`criterion_main!`] ends by writing every
+//! recorded measurement as a `neura_lab.artifact/v1` document (the same
+//! schema the figure/table binaries emit via `--json`), so micro- and
+//! macro-benchmarks share one format. The JSON is hand-rolled here — the
+//! stub stays dependency-free — but `neura_lab`'s parser round-trips it;
+//! see `crates/bench/tests/criterion_artifact.rs`.
 
 #![warn(missing_docs)]
 
 use std::fmt::Display;
 use std::hint;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Environment variable opting benchmark runs into artifact emission: its
+/// value is the output directory (an empty value means the default
+/// `target/artifacts`), and each bench target writes
+/// `<dir>/bench_<target>.json`.
+pub const JSON_ENV: &str = "NEURA_CRITERION_JSON";
+
+/// One finished measurement, queued for artifact emission.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    mean_seconds: f64,
+    iterations: u64,
+}
+
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drains every measurement recorded so far and, when [`JSON_ENV`] is set,
+/// writes them as a `neura_lab.artifact/v1` document named after the bench
+/// target. Called by [`criterion_main!`] after the groups run; callable
+/// directly by tests.
+pub fn emit_artifact(target: &str) {
+    let records = std::mem::take(&mut *results().lock().expect("bench results poisoned"));
+    let Ok(dir) = std::env::var(JSON_ENV) else {
+        return;
+    };
+    let dir = if dir.is_empty() { "target/artifacts".to_string() } else { dir };
+    let path = std::path::Path::new(&dir).join(format!("bench_{target}.json"));
+
+    let mut body = String::new();
+    body.push_str("{\n  \"schema\": \"neura_lab.artifact/v1\",\n");
+    body.push_str(&format!("  \"bin\": \"bench_{}\",\n", escape_json(target)));
+    body.push_str("  \"scale_mult\": 1,\n  \"records\": [");
+    for (i, result) in records.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "\n    {{\n      \"id\": \"bench_{}/{}\",\n      \"params\": {{}},\n      \
+             \"metrics\": [\n        {{\"name\": \"mean_seconds\", \"value\": {:?}, \
+             \"unit\": \"s\"}},\n        {{\"name\": \"iterations\", \"value\": {:?}}}\n      ]\n    }}",
+            escape_json(target),
+            escape_json(&result.id),
+            result.mean_seconds,
+            result.iterations as f64,
+        ));
+    }
+    body.push_str(if records.is_empty() { "]\n}" } else { "\n  ]\n}" });
+
+    if let Some(parent) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("criterion: cannot create {}: {e}", parent.display());
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = std::fs::write(&path, format!("{body}\n")) {
+        eprintln!("criterion: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {} ({} records)", path.display(), records.len());
+}
+
+/// Minimal JSON string escaping for benchmark ids.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Re-export of [`std::hint::black_box`], criterion-style.
 pub fn black_box<T>(x: T) -> T {
@@ -164,6 +255,11 @@ impl Bencher {
         } else {
             let mean = self.elapsed / self.iters as u32;
             println!("  {id}: {mean:?}/iter over {} iter(s)", self.iters);
+            results().lock().expect("bench results poisoned").push(BenchResult {
+                id: id.to_string(),
+                mean_seconds: self.elapsed.as_secs_f64() / self.iters as f64,
+                iterations: self.iters,
+            });
         }
     }
 }
@@ -179,12 +275,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `main` running the given groups.
+/// Emits `main` running the given groups, then emitting the artifact when
+/// [`JSON_ENV`] requests one (the target name comes from the bench's own
+/// compile-time crate name).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::emit_artifact(env!("CARGO_CRATE_NAME"));
         }
     };
 }
