@@ -1,5 +1,6 @@
-//! Request-stream serving simulation: open-loop arrival streams, batching
-//! policies and multi-chip sharding over the cycle-level NeuraChip model
+//! Request-stream serving simulation: open- and closed-loop workloads,
+//! batching policies, heterogeneous multi-chip sharding with class-aware
+//! dispatch and an autoscaled arm, over the cycle-level NeuraChip model
 //! (see `neura_serve`). Run with
 //! `cargo run --release -p neura_bench --bin serve` (add `--json [path]`
 //! for a machine-readable artifact). Flags:
@@ -7,32 +8,47 @@
 //! - `--arrival poisson|bursty` — arrival process (repeatable; default
 //!   `poisson`)
 //! - `--rps X` — mean arrival rate in requests/second (repeatable; default:
-//!   auto-calibrated to ~80% offered load on one shard, so queueing is
-//!   visible at every scale multiplier)
+//!   auto-calibrated to ~80% offered load on one reference shard, so
+//!   queueing is visible at every scale multiplier)
 //! - `--policy fifo|sjf|batch` — scheduling/batching policy (repeatable;
 //!   default: all three)
-//! - `--shards N` — accelerator shard count (repeatable; default 1, 2, 4)
-//! - `--duration SECONDS` — simulated stream duration (default 2.0,
-//!   shortened at the auto rate so streams stay ~20k requests)
+//! - `--shards N` — homogeneous Tile-16 fleet of N shards (repeatable;
+//!   default fleets: 1, 2 and 4 Tile-16 shards)
+//! - `--fleet SPEC` — fleet mix like `t16x4` or `t64x1+t4x4` (repeatable)
+//! - `--dispatch least-loaded|affinity|cost` — dispatch policy
+//!   (repeatable; default `least-loaded`)
+//! - `--clients N` — add a closed-loop arm with N clients (repeatable)
+//! - `--think-ms X` — closed-loop mean think time (default: derived from
+//!   the memoised costs for ~80% offered load)
+//! - `--autoscale MIN:MAX` — autoscale every scenario between MIN and MAX
+//!   shards per group; `--provision-ms X` / `--check-ms X` tune the
+//!   controller (defaults derived from the mean service time)
+//! - `--duration SECONDS` — simulated horizon (default 2.0, shortened at
+//!   the auto rate so streams stay ~20k requests)
 //! - `--dataset NAME` — serving-mix dataset (repeatable; default cora,
 //!   wiki-Vote, facebook)
 //! - `--max-batch N` / `--batch-timeout-ms X` — knobs of the `batch` policy
 //!   (the timeout defaults to 20x the mean service time)
 //!
-//! The sweep replays every (arrival, rps) stream once per policy/shard arm
-//! (arms share the stream seed), charges each dispatched batch a memoised
-//! cycle cost simulated once per request class on the Tile-16 chip, and
-//! reports p50/p95/p99 latency, sustained throughput, queue depth and
-//! per-shard utilisation per scenario.
+//! Without fleet/dispatch/clients/autoscale flags, three comparison arms
+//! ride along with the classic shard-scaling sweep: a heterogeneous
+//! Tile-64+Tile-4 fleet against a homogeneous equal-shard Tile-16 fleet
+//! under all three dispatch policies, a closed-loop arm directly
+//! comparable to its open-loop twin, and an autoscaled arm reporting
+//! shard-seconds cost against the p99 it buys. Cycle costs are memoised
+//! once per (chip fingerprint, request class) — groups sharing silicon
+//! share the memo — and every serving arm of a workload replays the
+//! identical demand.
 
 use neura_baselines::workload::WorkloadProfile;
 use neura_bench::{fmt, print_table, sim_matrix_at_fidelity};
 use neura_chip::accelerator::Accelerator;
-use neura_chip::config::ChipConfig;
+use neura_chip::config::{ChipConfig, TileSize};
 use neura_lab::{ArtifactSession, RunRecord, Runner};
 use neura_serve::policy::{DEFAULT_BATCH_TIMEOUT_S, DEFAULT_MAX_BATCH};
 use neura_serve::{
-    simulate, ArrivalProcess, ClassCost, CostTable, Policy, RequestClass, ServeSweep,
+    simulate, ArrivalProcess, AutoscalePolicy, ClassCost, CostTable, DispatchKind, FleetMix,
+    Policy, RequestClass, ServeScenario, ServeSweep,
 };
 use neura_sparse::DatasetCatalog;
 
@@ -40,21 +56,34 @@ use neura_sparse::DatasetCatalog;
 /// simulator workload of its dataset, half of it, or a quarter.
 const REQUEST_SHRINKS: [usize; 3] = [1, 2, 4];
 
-/// Base seed of every stream (scenario seeds derive from it).
+/// Base seed of every workload (scenario seeds derive from it).
 const STREAM_SEED: u64 = 0x5EED_CAFE;
+
+/// Clients of the default closed-loop arm.
+const DEFAULT_CLIENTS: usize = 64;
 
 fn usage() -> String {
     "usage: serve [--json [PATH]] [--arrival A]... [--rps X]... [--policy P]... [--shards N]...\n\
+     \x20            [--fleet SPEC]... [--dispatch D]... [--clients N]... [--think-ms X]\n\
+     \x20            [--autoscale MIN:MAX] [--provision-ms X] [--check-ms X]\n\
      \x20            [--duration S] [--dataset NAME]... [--max-batch N] [--batch-timeout-ms X]\n\
      \n\
      --json [PATH]         write a machine-readable artifact (default: target/artifacts/serve.json)\n\
      --arrival A           poisson | bursty (repeatable; default: poisson)\n\
      --rps X               mean arrival rate in requests/second (repeatable; default: auto,\n\
-     \x20                    ~80% offered load on a single shard)\n\
+     \x20                    ~80% offered load on a single reference shard)\n\
      --policy P            fifo | sjf | batch (repeatable; default: fifo, sjf, batch)\n\
-     --shards N            accelerator shard count (repeatable; default: 1, 2, 4)\n\
-     --duration S          simulated stream duration in seconds (default: 2.0, shortened\n\
-     \x20                    at the auto rate so streams stay ~20k requests)\n\
+     --shards N            homogeneous Tile-16 fleet of N shards (repeatable)\n\
+     --fleet SPEC          fleet mix, e.g. t16x4 or t64x1+t4x4 (repeatable; default: t16x1,\n\
+     \x20                    t16x2, t16x4 plus hetero/closed/autoscaled comparison arms)\n\
+     --dispatch D          least-loaded | affinity | cost (repeatable; default: least-loaded)\n\
+     --clients N           add a closed-loop arm with N clients (repeatable)\n\
+     --think-ms X          closed-loop mean think time (default: ~80% offered load)\n\
+     --autoscale MIN:MAX   autoscale every scenario between MIN and MAX shards per group\n\
+     --provision-ms X      autoscaler provisioning delay (default: 25x mean service)\n\
+     --check-ms X          autoscaler decision interval (default: 5x mean service)\n\
+     --duration S          simulated horizon in seconds (default: 2.0, shortened at the\n\
+     \x20                    auto rate so streams stay ~20k requests)\n\
      --dataset NAME        serving-mix dataset (repeatable; default: cora, wiki-Vote, facebook)\n\
      --max-batch N         batch policy: largest batch size (default: 8)\n\
      --batch-timeout-ms X  batch policy: partial-batch flush timeout (default: 20x the\n\
@@ -62,191 +91,399 @@ fn usage() -> String {
         .to_string()
 }
 
-fn main() {
-    let mut arrivals: Vec<ArrivalProcess> = Vec::new();
-    let mut rps: Vec<f64> = Vec::new();
-    let mut policy_names: Vec<String> = Vec::new();
-    let mut shards: Vec<usize> = Vec::new();
-    let mut duration_s = 2.0f64;
-    let mut duration_given = false;
-    let mut mix: Vec<String> = Vec::new();
-    let mut max_batch = DEFAULT_MAX_BATCH;
-    let mut batch_timeout_s = DEFAULT_BATCH_TIMEOUT_S;
-    let mut batch_timeout_given = false;
-    let mut passthrough: Vec<String> = Vec::new();
+struct Args {
+    arrivals: Vec<ArrivalProcess>,
+    rps: Vec<f64>,
+    policy_names: Vec<String>,
+    fleets: Vec<FleetMix>,
+    dispatches: Vec<DispatchKind>,
+    clients: Vec<usize>,
+    think_ms: Option<f64>,
+    autoscale: Option<(usize, usize)>,
+    provision_ms: Option<f64>,
+    check_ms: Option<f64>,
+    duration_s: f64,
+    duration_given: bool,
+    mix: Vec<String>,
+    max_batch: usize,
+    batch_timeout_s: f64,
+    batch_timeout_given: bool,
+    passthrough: Vec<String>,
+}
 
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        arrivals: Vec::new(),
+        rps: Vec::new(),
+        policy_names: Vec::new(),
+        fleets: Vec::new(),
+        dispatches: Vec::new(),
+        clients: Vec::new(),
+        think_ms: None,
+        autoscale: None,
+        provision_ms: None,
+        check_ms: None,
+        duration_s: 2.0,
+        duration_given: false,
+        mix: Vec::new(),
+        max_batch: DEFAULT_MAX_BATCH,
+        batch_timeout_s: DEFAULT_BATCH_TIMEOUT_S,
+        batch_timeout_given: false,
+        passthrough: Vec::new(),
+    };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| bad_usage(&format!("{flag} needs a value")))
+        };
         match arg.as_str() {
             "--arrival" => {
-                let raw = args.next().unwrap_or_else(|| bad_usage("--arrival needs a value"));
-                arrivals.push(
+                let raw = value("--arrival");
+                parsed.arrivals.push(
                     ArrivalProcess::parse(&raw)
                         .unwrap_or_else(|| bad_usage(&format!("unknown arrival process {raw:?}"))),
                 );
             }
             "--rps" => {
-                let raw = args.next().unwrap_or_else(|| bad_usage("--rps needs a value"));
-                rps.push(match raw.parse::<f64>() {
+                let raw = value("--rps");
+                parsed.rps.push(match raw.parse::<f64>() {
                     Ok(r) if r.is_finite() && r > 0.0 => r,
                     _ => bad_usage(&format!("--rps {raw:?} is not a positive rate")),
                 });
             }
             "--policy" => {
-                let raw = args.next().unwrap_or_else(|| bad_usage("--policy needs a value"));
+                let raw = value("--policy");
                 if Policy::parse(&raw).is_none() {
                     bad_usage(&format!("unknown policy {raw:?}"));
                 }
-                policy_names.push(raw);
+                parsed.policy_names.push(raw);
             }
             "--shards" => {
-                let raw = args.next().unwrap_or_else(|| bad_usage("--shards needs a value"));
-                shards.push(match raw.parse::<usize>() {
-                    Ok(n) if n >= 1 => n,
+                let raw = value("--shards");
+                match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        parsed.fleets.push(FleetMix::uniform(TileSize::Tile16, n));
+                    }
                     _ => bad_usage(&format!("--shards {raw:?} is not a positive integer")),
+                }
+            }
+            "--fleet" => {
+                let raw = value("--fleet");
+                parsed.fleets.push(
+                    FleetMix::parse(&raw)
+                        .unwrap_or_else(|| bad_usage(&format!("unparseable fleet mix {raw:?}"))),
+                );
+            }
+            "--dispatch" => {
+                let raw = value("--dispatch");
+                parsed.dispatches.push(
+                    DispatchKind::parse(&raw)
+                        .unwrap_or_else(|| bad_usage(&format!("unknown dispatch policy {raw:?}"))),
+                );
+            }
+            "--clients" => {
+                let raw = value("--clients");
+                parsed.clients.push(match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => bad_usage(&format!("--clients {raw:?} is not a positive integer")),
+                });
+            }
+            "--think-ms" => {
+                let raw = value("--think-ms");
+                parsed.think_ms = Some(match raw.parse::<f64>() {
+                    Ok(t) if t.is_finite() && t >= 0.0 => t,
+                    _ => bad_usage(&format!("--think-ms {raw:?} is not a think time")),
+                });
+            }
+            "--autoscale" => {
+                let raw = value("--autoscale");
+                let bounds = raw.split_once(':').and_then(|(lo, hi)| {
+                    let lo = lo.parse::<usize>().ok().filter(|&n| n >= 1)?;
+                    let hi = hi.parse::<usize>().ok().filter(|&n| n >= lo)?;
+                    Some((lo, hi))
+                });
+                parsed.autoscale = Some(bounds.unwrap_or_else(|| {
+                    bad_usage(&format!("--autoscale {raw:?} is not MIN:MAX with 1 <= MIN <= MAX"))
+                }));
+            }
+            "--provision-ms" => {
+                let raw = value("--provision-ms");
+                parsed.provision_ms = Some(match raw.parse::<f64>() {
+                    Ok(t) if t.is_finite() && t >= 0.0 => t,
+                    _ => bad_usage(&format!("--provision-ms {raw:?} is not a delay")),
+                });
+            }
+            "--check-ms" => {
+                let raw = value("--check-ms");
+                parsed.check_ms = Some(match raw.parse::<f64>() {
+                    Ok(t) if t.is_finite() && t > 0.0 => t,
+                    _ => bad_usage(&format!("--check-ms {raw:?} is not an interval")),
                 });
             }
             "--duration" => {
-                let raw = args.next().unwrap_or_else(|| bad_usage("--duration needs a value"));
-                duration_s = match raw.parse::<f64>() {
+                let raw = value("--duration");
+                parsed.duration_s = match raw.parse::<f64>() {
                     Ok(d) if d.is_finite() && d > 0.0 => d,
                     _ => bad_usage(&format!("--duration {raw:?} is not a positive duration")),
                 };
-                duration_given = true;
+                parsed.duration_given = true;
             }
             "--dataset" => {
-                let name = args.next().unwrap_or_else(|| bad_usage("--dataset needs a value"));
+                let name = value("--dataset");
                 if DatasetCatalog::by_name(&name).is_none() {
                     bad_usage(&format!("dataset {name:?} is not in the catalog"));
                 }
-                mix.push(name);
+                parsed.mix.push(name);
             }
             "--max-batch" => {
-                let raw = args.next().unwrap_or_else(|| bad_usage("--max-batch needs a value"));
-                max_batch = match raw.parse::<usize>() {
+                let raw = value("--max-batch");
+                parsed.max_batch = match raw.parse::<usize>() {
                     Ok(n) if n >= 1 => n,
                     _ => bad_usage(&format!("--max-batch {raw:?} is not a positive integer")),
                 };
             }
             "--batch-timeout-ms" => {
-                let raw =
-                    args.next().unwrap_or_else(|| bad_usage("--batch-timeout-ms needs a value"));
-                batch_timeout_s = match raw.parse::<f64>() {
+                let raw = value("--batch-timeout-ms");
+                parsed.batch_timeout_s = match raw.parse::<f64>() {
                     Ok(t) if t.is_finite() && t >= 0.0 => t / 1e3,
                     _ => bad_usage(&format!("--batch-timeout-ms {raw:?} is not a timeout")),
                 };
-                batch_timeout_given = true;
+                parsed.batch_timeout_given = true;
             }
             "--help" | "-h" => {
                 println!("{}", usage());
-                return;
+                std::process::exit(0);
             }
             // Only --json [PATH] is forwarded to the artifact session.
             "--json" => {
-                passthrough.push(arg);
+                parsed.passthrough.push(arg);
                 if matches!(args.peek(), Some(next) if !next.starts_with("--")) {
-                    passthrough.push(args.next().expect("peeked"));
+                    parsed.passthrough.push(args.next().expect("peeked"));
                 }
             }
             other => bad_usage(&format!("unrecognised argument {other:?}")),
         }
     }
-    if mix.is_empty() {
-        mix = vec!["cora".to_string(), "wiki-Vote".to_string(), "facebook".to_string()];
+    if parsed.mix.is_empty() {
+        parsed.mix = vec!["cora".to_string(), "wiki-Vote".to_string(), "facebook".to_string()];
     }
-    let mut session =
-        ArtifactSession::from_arg_list("serve", neura_bench::scale_multiplier(), passthrough);
-    let runner = Runner::from_env();
-    let config = ChipConfig::tile_16();
+    parsed
+}
 
-    // Memoise the cycle cost of one request per class (dataset of the mix ×
-    // request shrink) — one cycle-level simulation each, fanned out on the
-    // lab runner; every scenario then replays against this shared table.
-    let classes: Vec<RequestClass> = mix
+fn main() {
+    let mut args = parse_args();
+    // The comparison arms only ride along when the user has not taken over
+    // the fleet-shaped axes.
+    let default_arms = args.fleets.is_empty()
+        && args.dispatches.is_empty()
+        && args.clients.is_empty()
+        && args.autoscale.is_none();
+    if args.fleets.is_empty() {
+        args.fleets =
+            vec![1, 2, 4].into_iter().map(|n| FleetMix::uniform(TileSize::Tile16, n)).collect();
+    }
+    // An autoscaled group must start inside the controller's bounds; catch
+    // the mismatch here as a usage error instead of a simulation panic.
+    if let Some((min, max)) = args.autoscale {
+        for mix in &args.fleets {
+            for group in &mix.groups {
+                if !(min..=max).contains(&group.shards) {
+                    bad_usage(&format!(
+                        "--autoscale {min}:{max} is incompatible with fleet {:?}: group {:?} \
+                         starts with {} shard(s); pass --fleet/--shards sizes within the bounds",
+                        mix.id, group.name, group.shards
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut session =
+        ArtifactSession::from_arg_list("serve", neura_bench::scale_multiplier(), args.passthrough);
+    let runner = Runner::from_env();
+
+    // The tile configurations any arm of this run can place shards on.
+    let hetero_mix = FleetMix::mixed(&[(TileSize::Tile64, 1), (TileSize::Tile4, 4)]);
+    let hetero_peer = FleetMix::uniform(TileSize::Tile16, 5);
+    let mut tiles: Vec<TileSize> =
+        args.fleets.iter().flat_map(|mix| mix.groups.iter().map(|g| g.config.tile_size)).collect();
+    if default_arms {
+        tiles.extend([TileSize::Tile4, TileSize::Tile16, TileSize::Tile64]);
+    }
+    tiles.sort_by_key(|t| t.label());
+    tiles.dedup();
+
+    // Memoise the cycle cost of one request per (chip fingerprint, class)
+    // pair — one cycle-level simulation each, fanned out on the lab
+    // runner; every scenario then replays against this shared table.
+    // Fleets sharing a configuration share the memo by construction.
+    let classes: Vec<RequestClass> = args
+        .mix
         .iter()
         .enumerate()
         .flat_map(|(dataset, _)| REQUEST_SHRINKS.map(|shrink| RequestClass { dataset, shrink }))
         .collect();
-    let measured = runner.run(&classes, |_, class| {
-        let a = sim_matrix_at_fidelity(&mix[class.dataset], class.shrink);
-        let mut chip = Accelerator::new(config.clone());
+    let work: Vec<(TileSize, RequestClass)> =
+        tiles.iter().flat_map(|&tile| classes.iter().map(move |&class| (tile, class))).collect();
+    let measured = runner.run(&work, |_, (tile, class)| {
+        let a = sim_matrix_at_fidelity(&args.mix[class.dataset], class.shrink);
+        let mut chip = Accelerator::new(ChipConfig::for_tile_size(*tile));
         let report = chip.run_spgemm(&a, &a).expect("simulation drains").report;
-        let profile = WorkloadProfile::from_square(&mix[class.dataset], &a);
+        let profile = WorkloadProfile::from_square(&args.mix[class.dataset], &a);
         ClassCost { cycles: report.total_cycles, flops: profile.flops() }
     });
-    let mut costs = CostTable::for_config(&config);
-    for (class, cost) in classes.iter().zip(&measured) {
-        costs.insert(*class, *cost);
-    }
-    for (class, cost) in classes.iter().zip(&measured) {
-        let service_ms = costs.service_seconds(*class, 1) * 1e3;
-        let mut record =
-            RunRecord::new(format!("serve/cost/{}/x{}", mix[class.dataset], class.shrink))
-                .unit_metric("cycles", cost.cycles as f64, "cycles")
-                .unit_metric("service_ms", service_ms, "ms")
-                .metric("flops", cost.flops as f64);
-        record.params.push(("dataset".to_string(), mix[class.dataset].clone()));
+    let mut costs = CostTable::new();
+    for (&(tile, class), cost) in work.iter().zip(&measured) {
+        let fp = costs.register(&ChipConfig::for_tile_size(tile));
+        costs.insert(&fp, class, *cost);
+        let service_ms = costs.service_seconds(&fp, class, 1) * 1e3;
+        let mut record = RunRecord::new(format!(
+            "serve/cost/{}/{}/x{}",
+            tile.label(),
+            args.mix[class.dataset],
+            class.shrink
+        ))
+        .unit_metric("cycles", cost.cycles as f64, "cycles")
+        .unit_metric("service_ms", service_ms, "ms")
+        .metric("flops", cost.flops as f64);
+        record.params.push(("tile".to_string(), tile.label().to_string()));
+        record.params.push(("dataset".to_string(), args.mix[class.dataset].clone()));
         record.params.push(("shrink".to_string(), class.shrink.to_string()));
         session.push(record);
     }
 
     // Absolute request rates mean nothing across scale multipliers (a smoke
     // run's requests are thousands of times cheaper than paper-scale ones),
-    // so the default arrival rate auto-calibrates to ~80% offered load on a
-    // single shard — high enough that queueing, policy differences and
-    // shard scaling are visible at every scale. Derived from the memoised
-    // cycle costs, so it stays a pure function of the inputs.
-    let mean_service_s =
-        classes.iter().map(|c| costs.service_seconds(*c, 1)).sum::<f64>() / classes.len() as f64;
-    // The fixed-wall-clock batch timeout gets the same treatment: 20x the
-    // mean service time leaves room for same-class arrivals to accumulate
-    // without letting the flush deadline dwarf the service cost itself.
-    if !batch_timeout_given {
-        batch_timeout_s = mean_service_s * 20.0;
+    // so every derived knob — arrival rate, batch timeout, think time,
+    // autoscaler cadence — calibrates against the mean service time of the
+    // first fleet's leading group. Derived from the memoised cycle costs,
+    // so everything stays a pure function of the inputs.
+    let ref_fp = args.fleets[0].groups[0].config.fingerprint();
+    let mean_service_s = classes.iter().map(|&c| costs.service_seconds(&ref_fp, c, 1)).sum::<f64>()
+        / classes.len() as f64;
+    if !args.batch_timeout_given {
+        args.batch_timeout_s = mean_service_s * 20.0;
     }
-    let policies: Vec<Policy> = if policy_names.is_empty() {
-        vec![Policy::Fifo, Policy::Sjf, Policy::batch(max_batch, batch_timeout_s)]
+    let policies: Vec<Policy> = if args.policy_names.is_empty() {
+        vec![Policy::Fifo, Policy::Sjf, Policy::batch(args.max_batch, args.batch_timeout_s)]
     } else {
-        policy_names
+        args.policy_names
             .iter()
             .map(|name| match Policy::parse(name).expect("validated at parse time") {
-                Policy::BatchByDataset { .. } => Policy::batch(max_batch, batch_timeout_s),
+                Policy::BatchByDataset { .. } => {
+                    Policy::batch(args.max_batch, args.batch_timeout_s)
+                }
                 other => other,
             })
             .collect()
     };
-    if rps.is_empty() {
+    let mut duration_s = args.duration_s;
+    if args.rps.is_empty() {
         let auto_rps = (0.8 / mean_service_s).max(1.0).round();
         // Keep auto-rated streams to ~20k requests so smoke runs (where a
         // request costs microseconds and the rate lands in the millions)
         // stay fast; an explicit --duration wins.
-        if !duration_given {
+        if !args.duration_given {
             duration_s = f64::min(duration_s, (20_000.0 / auto_rps).max(1e-3));
         }
         println!(
-            "auto arrival rate: {auto_rps} req/s (~80% of one shard's {:.4} ms mean service), \
-             duration {duration_s:.4} s",
+            "auto arrival rate: {auto_rps} req/s (~80% of one reference shard's {:.4} ms mean \
+             service), duration {duration_s:.4} s",
             mean_service_s * 1e3,
         );
-        rps.push(auto_rps);
+        args.rps.push(auto_rps);
     }
-    let sweep = ServeSweep::new()
-        .arrivals(if arrivals.is_empty() { vec![ArrivalProcess::Poisson] } else { arrivals })
-        .rps(rps)
-        .policies(policies)
-        .shards(if shards.is_empty() { vec![1, 2, 4] } else { shards });
+    // Closed-loop think time: clients cycle once per (think + response), so
+    // this targets ~80% offered load — for the user's first client count on
+    // their first fleet, or for the default 64-client/two-shard arm.
+    let think_s = args.think_ms.map(|ms| ms / 1e3).unwrap_or_else(|| {
+        let clients = *args.clients.first().unwrap_or(&DEFAULT_CLIENTS) as f64;
+        let shards = if default_arms { 2.0 } else { args.fleets[0].total_shards() as f64 };
+        (clients * mean_service_s / (0.8 * shards) - mean_service_s).max(0.0)
+    });
+    let controller = |min: usize, max: usize| {
+        AutoscalePolicy::new(min, max)
+            .with_check_interval_s(args.check_ms.map(|ms| ms / 1e3).unwrap_or(mean_service_s * 5.0))
+            .with_provision_delay_s(
+                args.provision_ms.map(|ms| ms / 1e3).unwrap_or(mean_service_s * 25.0),
+            )
+    };
+
+    let base = ServeSweep::new()
+        .arrivals(if args.arrivals.is_empty() {
+            vec![ArrivalProcess::Poisson]
+        } else {
+            args.arrivals.clone()
+        })
+        .rps(args.rps.clone())
+        .think_s(think_s)
+        .policies(policies.clone());
+    let mut sweep = base
+        .clone()
+        .fleets(args.fleets.clone())
+        .dispatches(if args.dispatches.is_empty() {
+            vec![DispatchKind::LeastLoaded]
+        } else {
+            args.dispatches.clone()
+        })
+        .closed_clients(args.clients.clone());
+    if let Some((min, max)) = args.autoscale {
+        sweep = sweep.autoscale([Some(controller(min, max))]);
+    }
+    let mut scenarios = sweep.scenarios("serve", STREAM_SEED);
+
+    if default_arms {
+        // Heterogeneous arm: equal shards and aggregate peak throughput,
+        // every dispatch policy, one shared stream.
+        let hetero = base
+            .clone()
+            .policies([Policy::Fifo])
+            .fleets([hetero_peer, hetero_mix])
+            .dispatches(DispatchKind::ALL);
+        // Closed-loop arm: the open twin (same fleet/policy/dispatch) runs
+        // in the main sweep, so open and closed tails sit side by side.
+        let closed = base
+            .clone()
+            .arrivals([])
+            .rps([])
+            .closed_clients([DEFAULT_CLIENTS])
+            .policies([Policy::Fifo])
+            .fleets([FleetMix::uniform(TileSize::Tile16, 2)]);
+        // Autoscaled arm: one elastic Tile-16 group, cost vs latency.
+        let autoscaled = base
+            .clone()
+            .policies([Policy::Fifo])
+            .fleets([FleetMix::uniform(TileSize::Tile16, 1)])
+            .autoscale([Some(controller(1, 4))]);
+        for arm in [hetero, closed, autoscaled] {
+            let offset = scenarios.len();
+            for mut scenario in arm.scenarios("serve", STREAM_SEED) {
+                scenario.index += offset;
+                scenarios.push(scenario);
+            }
+        }
+    }
 
     // Replay every scenario on the runner; results collect in sweep order,
     // so the artifact is byte-identical for any NEURA_LAB_THREADS.
-    let scenarios = sweep.scenarios("serve", STREAM_SEED);
-    let outcomes = runner.run(&scenarios, |_, scenario| {
-        let stream = scenario.stream_spec(duration_s, mix.len(), &REQUEST_SHRINKS).generate();
-        simulate(&stream, scenario.policy, scenario.shards, &costs)
+    let mix_len = args.mix.len();
+    let outcomes = runner.run(&scenarios, |_, scenario: &ServeScenario| {
+        let workload = scenario.workload_spec(duration_s, mix_len, &REQUEST_SHRINKS);
+        simulate(
+            &workload,
+            scenario.policy,
+            &scenario.fleet.groups,
+            scenario.dispatch,
+            scenario.autoscale.as_ref(),
+            &costs,
+        )
     });
 
     let mut rows = Vec::new();
     for (scenario, outcome) in scenarios.iter().zip(&outcomes) {
-        let mean_util = outcome.utilisations().iter().sum::<f64>() / scenario.shards as f64;
+        let shard_seconds = outcome.shard_seconds();
+        let busy: f64 = outcome.group_stats.iter().map(|g| g.busy_s).sum();
+        let util = if shard_seconds > 0.0 { busy / shard_seconds } else { 0.0 };
         let tails = outcome.latency_percentiles_s(&[50.0, 95.0, 99.0]);
         rows.push(vec![
             scenario.id.strip_prefix("serve/").unwrap_or(&scenario.id).to_string(),
@@ -255,18 +492,18 @@ fn main() {
             fmt(tails[1] * 1e3, 3),
             fmt(tails[2] * 1e3, 3),
             fmt(outcome.throughput_rps(), 1),
-            fmt(mean_util, 3),
+            fmt(util, 3),
             outcome.batch_sizes.len().to_string(),
-            fmt(outcome.mean_batch_size(), 2),
+            fmt(shard_seconds, 4),
         ]);
         let mut params = scenario.params();
-        params.push(("mix".to_string(), mix.join("+")));
+        params.push(("mix".to_string(), args.mix.join("+")));
         params.push(("duration_s".to_string(), format!("{duration_s:?}")));
         session.extend(outcome.records(&scenario.id, &params));
     }
 
     print_table(
-        "Serving scenarios: tail latency and throughput under load",
+        "Serving scenarios: tail latency, throughput and capacity cost under load",
         &[
             "Scenario",
             "Requests",
@@ -276,18 +513,20 @@ fn main() {
             "Thr (req/s)",
             "Util",
             "Batches",
-            "Mean batch",
+            "Shard-s",
         ],
         &rows,
     );
     println!(
-        "\nEach scenario replays a deterministic {}-dataset request stream on a fleet\n\
-         of simulated Tile-16 chips: batches dispatch to the least-loaded idle shard\n\
-         and are charged a cycle cost memoised per (dataset x request size) class\n\
-         ({} cycle-level simulations total). Policy and shard arms of the same\n\
-         arrival/rate stream share their seed, so they are directly comparable.",
-        mix.len(),
-        classes.len(),
+        "\nEach scenario replays a deterministic {}-dataset workload on a fleet of\n\
+         simulated chips: shard groups may mix tile sizes (class-aware dispatch\n\
+         decides placement), closed-loop arms regenerate demand from completions,\n\
+         and the autoscaled arm grows/shrinks capacity against its backlog. Every\n\
+         batch is charged a cycle cost memoised per (chip fingerprint x dataset x\n\
+         request size) class ({} cycle-level simulations total). Serving arms of\n\
+         the same workload share their seed, so they are directly comparable.",
+        mix_len,
+        work.len(),
     );
 
     session.finish();

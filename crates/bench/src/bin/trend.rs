@@ -6,7 +6,9 @@
 //!
 //! - `BEFORE` / `AFTER` — artifact JSON files, or directories whose
 //!   `*.json` files are matched by name (e.g. two saved copies of
-//!   `target/artifacts/`)
+//!   `target/artifacts/`); directory diffs end with a summary line
+//!   counting compared pairs, changed metrics and files present on only
+//!   one side
 //! - `--fail-above PCT` — exit non-zero when any metric's relative delta
 //!   exceeds `PCT` percent in magnitude, or when a metric/file exists on
 //!   only one side (`--fail-above 0` fails on any change at all)
@@ -63,7 +65,10 @@ fn main() -> ExitCode {
         }
     };
 
+    let directory_mode = before.is_dir();
     let mut failed = !unmatched.is_empty();
+    let mut changed_total = 0usize;
+    let mut one_sided_metrics = 0usize;
     for path in &unmatched {
         println!("only on one side: {path}");
     }
@@ -76,11 +81,26 @@ fn main() -> ExitCode {
             }
         };
         print_report(label, &report);
+        changed_total += report.changed().len();
+        one_sided_metrics += report.only_in_before.len() + report.only_in_after.len();
         if let Some(pct) = fail_above {
             if report.exceeds(pct) {
                 failed = true;
             }
         }
+    }
+    if directory_mode {
+        // Files present on only one side are changes the per-file reports
+        // cannot show — count them in the summary next to the metric
+        // deltas, so a vanished artifact is as loud as a regressed one.
+        println!(
+            "\ntrend summary: {} file pair(s) compared, {} changed metric(s), \
+             {} metric(s) on one side only, {} file(s) on one side only",
+            pairs.len(),
+            changed_total,
+            one_sided_metrics,
+            unmatched.len()
+        );
     }
 
     match fail_above {

@@ -3,8 +3,9 @@
 //!
 //! Each binary is executed as a real subprocess (the exact artifact `cargo
 //! run` would launch) with [`neura_bench::SCALE_MULT_ENV`] set so the
-//! workloads shrink to seconds even in debug builds. All thirteen binaries
-//! run concurrently on the same `neura_lab::Runner` scoped-thread pool the
+//! workloads shrink to seconds even in debug builds. All fourteen
+//! invocations (thirteen binaries plus a serve-p99 tuner run) execute
+//! concurrently on the same `neura_lab::Runner` scoped-thread pool the
 //! binaries themselves use for their sweeps. Beyond exit status 0 and
 //! non-empty stdout, each binary's `--json` output must parse back through
 //! `neura_lab`'s artifact parser with at least one record and at least one
@@ -15,37 +16,50 @@
 use std::path::Path;
 use std::process::Command;
 
-use neura_lab::{parse_json, Artifact, Runner};
+use neura_lab::{parse_json, Artifact, RunRecord, Runner};
 
 /// Extra down-scaling applied on top of each binary's own scale factor.
 const SMOKE_MULT: &str = "32";
 
-/// Every artifact binary, paired with the path Cargo built it at.
-const BINARIES: [(&str, &str); 13] = [
-    ("table1", env!("CARGO_BIN_EXE_table1")),
-    ("table3", env!("CARGO_BIN_EXE_table3")),
-    ("table4", env!("CARGO_BIN_EXE_table4")),
-    ("table5", env!("CARGO_BIN_EXE_table5")),
-    ("fig11", env!("CARGO_BIN_EXE_fig11")),
-    ("fig13", env!("CARGO_BIN_EXE_fig13")),
-    ("fig14", env!("CARGO_BIN_EXE_fig14")),
-    ("fig15", env!("CARGO_BIN_EXE_fig15")),
-    ("fig16", env!("CARGO_BIN_EXE_fig16")),
-    ("fig17", env!("CARGO_BIN_EXE_fig17")),
-    ("ablation", env!("CARGO_BIN_EXE_ablation")),
-    ("tune", env!("CARGO_BIN_EXE_tune")),
-    ("serve", env!("CARGO_BIN_EXE_serve")),
+/// Every smoke invocation: a unique label (also the artifact file stem),
+/// the binary path, the artifact's `bin` name and extra arguments.
+const INVOCATIONS: [(&str, &str, &str, &[&str]); 14] = [
+    ("table1", env!("CARGO_BIN_EXE_table1"), "table1", &[]),
+    ("table3", env!("CARGO_BIN_EXE_table3"), "table3", &[]),
+    ("table4", env!("CARGO_BIN_EXE_table4"), "table4", &[]),
+    ("table5", env!("CARGO_BIN_EXE_table5"), "table5", &[]),
+    ("fig11", env!("CARGO_BIN_EXE_fig11"), "fig11", &[]),
+    ("fig13", env!("CARGO_BIN_EXE_fig13"), "fig13", &[]),
+    ("fig14", env!("CARGO_BIN_EXE_fig14"), "fig14", &[]),
+    ("fig15", env!("CARGO_BIN_EXE_fig15"), "fig15", &[]),
+    ("fig16", env!("CARGO_BIN_EXE_fig16"), "fig16", &[]),
+    ("fig17", env!("CARGO_BIN_EXE_fig17"), "fig17", &[]),
+    ("ablation", env!("CARGO_BIN_EXE_ablation"), "ablation", &[]),
+    // Tuning all twenty datasets is a `just tune` job, not a smoke test;
+    // one dataset proves the binary and its artifact schema end to end.
+    ("tune", env!("CARGO_BIN_EXE_tune"), "tune", &["--dataset", "cora"]),
+    // The serve-aware objective: p99-under-load scoring through the
+    // serving layer, budget-truncated so the smoke run stays cheap.
+    (
+        "tune-serve-p99",
+        env!("CARGO_BIN_EXE_tune"),
+        "tune",
+        &["--dataset", "cora", "--objective", "serve-p99", "--budget", "40"],
+    ),
+    ("serve", env!("CARGO_BIN_EXE_serve"), "serve", &[]),
 ];
 
-fn run_smoke(name: &str, exe: &str, json_dir: &Path) -> Result<(), String> {
-    let json_path = json_dir.join(format!("{name}.json"));
+fn run_smoke(
+    label: &str,
+    exe: &str,
+    bin: &str,
+    extra_args: &[&str],
+    json_dir: &Path,
+) -> Result<(), String> {
+    let json_path = json_dir.join(format!("{label}.json"));
     let mut command = Command::new(exe);
     command.arg("--json").arg(&json_path).env(neura_bench::SCALE_MULT_ENV, SMOKE_MULT);
-    if name == "tune" {
-        // Tuning all twenty datasets is a `just tune` job, not a smoke test;
-        // one dataset proves the binary and its artifact schema end to end.
-        command.args(["--dataset", "cora"]);
-    }
+    command.args(extra_args);
     let output = command.output().map_err(|e| format!("failed to spawn ({exe}): {e}"))?;
     if !output.status.success() {
         return Err(format!(
@@ -64,8 +78,8 @@ fn run_smoke(name: &str, exe: &str, json_dir: &Path) -> Result<(), String> {
         &parse_json(&text).map_err(|e| format!("artifact does not parse: {e}"))?,
     )
     .map_err(|e| format!("artifact schema mismatch: {e}"))?;
-    if artifact.bin != name {
-        return Err(format!("artifact names bin {:?}, expected {name:?}", artifact.bin));
+    if artifact.bin != bin {
+        return Err(format!("artifact names bin {:?}, expected {bin:?}", artifact.bin));
     }
     if artifact.scale_mult.to_string() != SMOKE_MULT {
         return Err(format!("artifact records scale_mult {}", artifact.scale_mult));
@@ -78,7 +92,7 @@ fn run_smoke(name: &str, exe: &str, json_dir: &Path) -> Result<(), String> {
             return Err(format!("record {:?} has no metrics", record.id));
         }
     }
-    if name == "tune" {
+    if bin == "tune" {
         let best = artifact
             .records
             .iter()
@@ -91,16 +105,43 @@ fn run_smoke(name: &str, exe: &str, json_dir: &Path) -> Result<(), String> {
             return Err("best_config is worse than the paper default".to_string());
         }
     }
-    if name == "serve" {
+    if label == "serve" {
         check_serve_artifact(&artifact)?;
     }
     Ok(())
 }
 
+/// A `<prefix>...<suffix>` summary record's metric, by ID shape (the
+/// auto-calibrated rps segment in the middle is scale-dependent).
+fn summary_metric(
+    artifact: &Artifact,
+    prefix: &str,
+    suffix: &str,
+    metric: &str,
+) -> Result<f64, String> {
+    summary_record(artifact, prefix, suffix)?
+        .metric_value(metric)
+        .ok_or(format!("summary {prefix}...{suffix} lacks the {metric} metric"))
+}
+
+fn summary_record<'a>(
+    artifact: &'a Artifact,
+    prefix: &str,
+    suffix: &str,
+) -> Result<&'a RunRecord, String> {
+    artifact
+        .records
+        .iter()
+        .find(|r| r.id.starts_with(prefix) && r.id.ends_with(suffix))
+        .ok_or(format!("missing summary {prefix}...{suffix}"))
+}
+
 /// Serving-specific schema checks: every scenario summary carries tail
-/// latency and throughput, and at a fixed arrival rate more shards never
-/// worsen p99 latency (the binary's default sweep includes FIFO at 1/2/4
-/// shards over one shared stream).
+/// latency, throughput and capacity cost; more shards never worsen FIFO
+/// p99 on one shared stream; the default comparison arms — heterogeneous
+/// Tile-64+Tile-4 fleet with per-group records, a closed-loop twin of an
+/// open-loop arm, and an autoscaled arm reporting shard-seconds — are all
+/// present in the one artifact.
 fn check_serve_artifact(artifact: &Artifact) -> Result<(), String> {
     let summaries: Vec<_> =
         artifact.records.iter().filter(|r| r.id.ends_with("/summary")).collect();
@@ -108,7 +149,7 @@ fn check_serve_artifact(artifact: &Artifact) -> Result<(), String> {
         return Err("serve artifact has no scenario summaries".to_string());
     }
     for summary in &summaries {
-        for metric in ["p99_latency_ms", "throughput_rps", "queue_depth_mean"] {
+        for metric in ["p99_latency_ms", "throughput_rps", "queue_depth_mean", "shard_seconds"] {
             if summary.metric_value(metric).is_none() {
                 return Err(format!("summary {:?} lacks the {metric} metric", summary.id));
             }
@@ -117,39 +158,76 @@ fn check_serve_artifact(artifact: &Artifact) -> Result<(), String> {
     if !artifact.records.iter().any(|r| r.id.contains("/shard")) {
         return Err("serve artifact has no per-shard utilisation records".to_string());
     }
-    // The default arrival rate is auto-calibrated, so match the fifo
-    // summaries by prefix and suffix instead of the exact rps segment.
+
+    // Shard scaling: the default arrival rate is auto-calibrated, so match
+    // the fifo summaries by prefix and suffix instead of the exact rps.
     let fifo_p99 = |shards: usize| {
-        let suffix = format!("/fifo/s{shards}/summary");
-        artifact
-            .records
-            .iter()
-            .find(|r| r.id.starts_with("serve/poisson/rps") && r.id.ends_with(&suffix))
-            .and_then(|r| r.metric_value("p99_latency_ms"))
-            .ok_or(format!("missing default fifo s{shards} summary"))
+        summary_metric(
+            artifact,
+            "serve/poisson/rps",
+            &format!("/t16x{shards}/least-loaded/fifo/summary"),
+            "p99_latency_ms",
+        )
     };
     let (s1, s2, s4) = (fifo_p99(1)?, fifo_p99(2)?, fifo_p99(4)?);
     if s2 > s1 + 1e-9 || s4 > s2 + 1e-9 {
         return Err(format!("p99 worsened with more shards: s1={s1} s2={s2} s4={s4}"));
     }
+
+    // Heterogeneous arm: the mixed fleet's summary carries the cost metric
+    // and both groups report utilisation.
+    let mixed = "/t64x1+t4x4/affinity/fifo";
+    summary_metric(artifact, "serve/poisson/rps", &format!("{mixed}/summary"), "shard_seconds")?;
+    for group in ["t64", "t4"] {
+        let record = artifact
+            .records
+            .iter()
+            .find(|r| {
+                r.id.starts_with("serve/poisson/rps")
+                    && r.id.ends_with(&format!("{mixed}/group/{group}"))
+            })
+            .ok_or(format!("missing per-group record for {group} in the mixed fleet"))?;
+        if record.metric_value("utilization").is_none()
+            || record.metric_value("shard_seconds").is_none()
+        {
+            return Err(format!("group record {:?} lacks utilisation/cost metrics", record.id));
+        }
+    }
+
+    // Closed-loop arm: bounded in-flight, with its open-loop twin (same
+    // fleet, dispatch and policy) in the same artifact for comparison.
+    let closed = summary_record(artifact, "serve/closed64/", "/t16x2/least-loaded/fifo/summary")?;
+    let in_flight =
+        closed.metric_value("max_in_flight").ok_or("closed-loop summary lacks max_in_flight")?;
+    if in_flight > 64.0 {
+        return Err(format!("closed loop exceeded its client count: {in_flight} in flight"));
+    }
+    summary_record(artifact, "serve/poisson/rps", "/t16x2/least-loaded/fifo/summary")?;
+
+    // Autoscaled arm: p99 and shard-seconds cost side by side.
+    let scaled_suffix = "/t16x1/least-loaded/fifo/as1-4/summary";
+    for metric in ["p99_latency_ms", "shard_seconds", "scale_events"] {
+        summary_metric(artifact, "serve/poisson/rps", scaled_suffix, metric)?;
+    }
     Ok(())
 }
 
-/// All thirteen binaries, in parallel, through the lab runner.
+/// All fourteen invocations, in parallel, through the lab runner.
 #[test]
 fn all_binaries_run_and_emit_parseable_artifacts() {
     let json_dir = std::env::temp_dir().join(format!("neura_bench_smoke_{}", std::process::id()));
     std::fs::create_dir_all(&json_dir).expect("create smoke artifact dir");
 
-    let results = Runner::from_env()
-        .run(&BINARIES, |_, (name, exe)| run_smoke(name, exe, &json_dir).map_err(|e| (*name, e)));
+    let results = Runner::from_env().run(&INVOCATIONS, |_, (label, exe, bin, extra_args)| {
+        run_smoke(label, exe, bin, extra_args, &json_dir).map_err(|e| (*label, e))
+    });
 
     std::fs::remove_dir_all(&json_dir).ok();
 
     let failures: Vec<String> = results
         .into_iter()
         .filter_map(Result::err)
-        .map(|(name, error)| format!("{name}: {error}"))
+        .map(|(label, error)| format!("{label}: {error}"))
         .collect();
     assert!(
         failures.is_empty(),
@@ -160,10 +238,12 @@ fn all_binaries_run_and_emit_parseable_artifacts() {
 }
 
 /// The serve artifact is byte-identical across `NEURA_LAB_THREADS`
-/// settings, and the `trend` binary reports zero delta (exit 0 with
-/// `--fail-above 0`) when diffing an artifact against itself.
+/// settings; the `trend` binary reports zero delta (exit 0 with
+/// `--fail-above 0`) when diffing an artifact against itself, and its
+/// directory mode counts files present on only one side in the summary
+/// line.
 #[test]
-fn serve_is_thread_invariant_and_trend_self_diff_is_zero() {
+fn serve_is_thread_invariant_and_trend_diffs_directories() {
     let json_dir =
         std::env::temp_dir().join(format!("neura_bench_serve_trend_{}", std::process::id()));
     std::fs::create_dir_all(&json_dir).expect("create artifact dir");
@@ -201,6 +281,32 @@ fn serve_is_thread_invariant_and_trend_self_diff_is_zero() {
         String::from_utf8_lossy(&trend.stderr)
     );
     assert!(stdout.contains("all identical"), "unexpected trend output:\n{stdout}");
+
+    // Directory mode: one matched pair plus one file present only in
+    // BEFORE must be counted in the summary line and trip the threshold.
+    let before_dir = json_dir.join("before");
+    let after_dir = json_dir.join("after");
+    std::fs::create_dir_all(&before_dir).unwrap();
+    std::fs::create_dir_all(&after_dir).unwrap();
+    std::fs::write(before_dir.join("serve.json"), &bytes_two).unwrap();
+    std::fs::write(after_dir.join("serve.json"), &bytes_two).unwrap();
+    std::fs::write(before_dir.join("extra.json"), &bytes_two).unwrap();
+    let trend_dirs = Command::new(env!("CARGO_BIN_EXE_trend"))
+        .args(["--fail-above", "0"])
+        .arg(&before_dir)
+        .arg(&after_dir)
+        .output()
+        .expect("spawn trend on directories");
+    let stdout = String::from_utf8_lossy(&trend_dirs.stdout);
+    assert!(!trend_dirs.status.success(), "a file on one side must trip --fail-above 0:\n{stdout}");
+    assert!(stdout.contains("extra.json (before only)"), "the one-sided file is named:\n{stdout}");
+    assert!(
+        stdout.contains(
+            "trend summary: 1 file pair(s) compared, 0 changed metric(s), \
+             0 metric(s) on one side only, 1 file(s) on one side only"
+        ),
+        "directory summary line counts pairs, changed metrics and one-sided files:\n{stdout}"
+    );
 
     std::fs::remove_dir_all(&json_dir).ok();
 }

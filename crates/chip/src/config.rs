@@ -28,6 +28,16 @@ impl TileSize {
             TileSize::Tile64 => "Tile-64",
         }
     }
+
+    /// Compact lower-case label ("t4", "t16", "t64") — the single spelling
+    /// used by config fingerprints, fleet-mix IDs and artifact record IDs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TileSize::Tile4 => "t4",
+            TileSize::Tile16 => "t16",
+            TileSize::Tile64 => "t64",
+        }
+    }
 }
 
 /// Per-NeuraCore configuration (Table 2, "NeuraCore" rows).
@@ -366,8 +376,79 @@ impl ChipConfig {
     /// Wall-clock seconds of one clock cycle at the configured frequency —
     /// the conversion the serving layer uses to turn memoised cycle costs
     /// into service times.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the frequency is not finite and positive. The builder
+    /// ([`Self::with_frequency_ghz`]) rejects such values at construction,
+    /// but the field is public, so the conversion re-validates: a zero or
+    /// NaN frequency here would silently turn every downstream service
+    /// time into `inf`/NaN.
     pub fn seconds_per_cycle(&self) -> f64 {
+        assert!(
+            self.frequency_ghz.is_finite() && self.frequency_ghz > 0.0,
+            "chip frequency must be finite and positive (got {})",
+            self.frequency_ghz
+        );
         1.0 / (self.frequency_ghz * 1e9)
+    }
+
+    /// A stable, human-readable fingerprint of every field that influences
+    /// simulated behaviour. Two configurations share a fingerprint exactly
+    /// when they are behaviourally identical, so memoised per-workload
+    /// costs (the serving layer's cost tables) can be keyed by fingerprint
+    /// and shared across fleet groups that run the same silicon.
+    ///
+    /// The encoding is positional and versioned only by the field set:
+    /// adding a config field must extend the fingerprint.
+    pub fn fingerprint(&self) -> String {
+        let core = &self.core;
+        let mem = &self.mem;
+        let hbm = match HbmPreset::of(&self.hbm) {
+            Some(preset) => preset.name().to_string(),
+            None => format!(
+                "hbm{}.{}.{}.{}.{}.{}.{}.{}",
+                self.hbm.row_hit_latency,
+                self.hbm.row_miss_latency,
+                self.hbm.row_conflict_latency,
+                self.hbm.burst_bytes,
+                self.hbm.bytes_per_cycle,
+                self.hbm.banks_per_channel,
+                self.hbm.row_bytes,
+                self.hbm.base_latency
+            ),
+        };
+        format!(
+            "n{}x{}c{}m{}r{}-core{}.{}.{}.{}.{}.{}-mem{}.{}.{}.{}.{}.{}-f{:?}-{}-q{}-rb{}-{}-{}-mmh{}-s{}",
+            self.tiles,
+            self.tile_size.label(),
+            self.cores_per_tile,
+            self.mems_per_tile,
+            self.routers_per_tile,
+            core.pipeline_registers,
+            core.pipelines,
+            core.multipliers,
+            core.address_generators,
+            core.ports,
+            core.instruction_buffer,
+            mem.comparators,
+            mem.hash_engines,
+            mem.hashlines,
+            mem.accumulators,
+            mem.ports,
+            mem.instruction_buffer,
+            self.frequency_ghz,
+            hbm,
+            self.mem_queue_capacity,
+            self.router_buffer,
+            self.mapping.name(),
+            match self.eviction {
+                EvictionPolicy::Rolling => "re",
+                EvictionPolicy::Barrier => "be",
+            },
+            self.mmh_tile,
+            self.seed
+        )
     }
 }
 
@@ -489,6 +570,58 @@ mod tests {
     #[should_panic(expected = "finite and positive")]
     fn zero_frequency_rejected() {
         ChipConfig::tile_16().with_frequency_ghz(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn seconds_per_cycle_rejects_a_corrupted_frequency() {
+        // The builder already rejects bad values, but the field is public —
+        // the conversion must guard too, so service times can never be
+        // inf/NaN.
+        let mut cfg = ChipConfig::tile_16();
+        cfg.frequency_ghz = f64::NAN;
+        cfg.seconds_per_cycle();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn seconds_per_cycle_rejects_a_zero_frequency() {
+        let mut cfg = ChipConfig::tile_16();
+        cfg.frequency_ghz = 0.0;
+        cfg.seconds_per_cycle();
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinguish_configs() {
+        for tile in TileSize::ALL {
+            let config = ChipConfig::for_tile_size(tile);
+            assert_eq!(
+                config.fingerprint(),
+                config.fingerprint(),
+                "fingerprint is a pure function"
+            );
+        }
+        assert_ne!(ChipConfig::tile_4().fingerprint(), ChipConfig::tile_16().fingerprint());
+        assert_ne!(ChipConfig::tile_16().fingerprint(), ChipConfig::tile_64().fingerprint());
+        // Every behavioural override must move the fingerprint.
+        let base = ChipConfig::tile_16();
+        for changed in [
+            base.clone().with_mmh_tile(8),
+            base.clone().with_mapping(MappingKind::Ring),
+            base.clone().with_eviction(EvictionPolicy::Barrier),
+            base.clone().with_cores_per_tile(8),
+            base.clone().with_mems_per_tile(2),
+            base.clone().with_router_buffer(32),
+            base.clone().with_mem_queue_capacity(128),
+            base.clone().with_frequency_ghz(1.5),
+            base.clone().with_hbm_preset(HbmPreset::Hbm2DualStack),
+            base.clone().with_seed(7),
+        ] {
+            assert_ne!(base.fingerprint(), changed.fingerprint());
+        }
+        // ... and identical configurations share one.
+        assert_eq!(base.fingerprint(), ChipConfig::tile_16().fingerprint());
+        assert!(base.fingerprint().contains("hbm2"), "named presets appear by name");
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use report::{fmt, parse_json, print_table, Artifact, JsonValue, Metric, RunR
 pub use runner::Runner;
 pub use spec::{ExperimentSpec, SweepGrid, SweepPoint};
 pub use trend::{MetricDelta, TrendReport};
-pub use tune::{Objective, TuneOutcome, TuneSpec, Tuner};
+pub use tune::{Evaluation, Objective, TuneOutcome, TuneSpec, Tuner};
 
 use std::path::PathBuf;
 

@@ -3,10 +3,40 @@
 use neura_chip::accelerator::ExecutionReport;
 use neura_chip::config::ChipConfig;
 
-use crate::report::RunRecord;
+use crate::report::{Metric, RunRecord};
 use crate::runner::Runner;
 use crate::spec::{ExperimentSpec, SweepGrid, SweepPoint};
 use crate::tune::Objective;
+
+/// One scored evaluation of a grid point at one fidelity — the unit the
+/// halving ladder ranks. Report-backed objectives build it from an
+/// [`ExecutionReport`]; externally-scored objectives (serve-p99) build it
+/// from whatever simulation produced the score, attaching any extra
+/// metrics worth recording.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The objective score; lower is better. Non-finite scores are
+    /// sanitised to `+inf` so they can never win a rung.
+    pub score: f64,
+    /// The cycle-level report, when one backs the score (adds the standard
+    /// execution metric set to the per-evaluation record).
+    pub report: Option<ExecutionReport>,
+    /// Extra metrics appended to the per-evaluation record.
+    pub metrics: Vec<Metric>,
+}
+
+impl Evaluation {
+    /// An externally-scored evaluation with no backing report.
+    pub fn scored(score: f64) -> Self {
+        Evaluation { score, report: None, metrics: Vec::new() }
+    }
+
+    /// Appends an extra metric (builder style).
+    pub fn with_metric(mut self, name: impl Into<String>, value: f64, unit: &str) -> Self {
+        self.metrics.push(Metric { name: name.into(), value, unit: Some(unit.to_string()) });
+        self
+    }
+}
 
 /// Largest workload-shrink factor an early rung may use. Deeper ladders
 /// reuse this cheapest fidelity rather than shrinking further (tiny graphs
@@ -152,6 +182,28 @@ fn improvement(baseline_score: f64, best_score: f64) -> f64 {
     }
 }
 
+/// Builds the per-evaluation artifact record: the standard execution
+/// metric set when a report backs the score, any extra metrics, then the
+/// objective score; `extra_params` follow the point's own parameters.
+fn evaluation_record(
+    id: String,
+    evaluation: &Evaluation,
+    score: f64,
+    objective: Objective,
+    params: Vec<(String, String)>,
+    extra_params: &[(String, String)],
+) -> RunRecord {
+    let mut record = RunRecord::new(id);
+    if let Some(report) = &evaluation.report {
+        record = record.with_execution(report);
+    }
+    record.metrics.extend(evaluation.metrics.iter().cloned());
+    let mut record = record.unit_metric("objective_score", score, objective.unit());
+    record.params = params;
+    record.params.extend(extra_params.iter().cloned());
+    record
+}
+
 /// The successive-halving tuner: an enumerated grid plus a rung plan.
 #[derive(Debug, Clone)]
 pub struct Tuner {
@@ -205,11 +257,40 @@ impl Tuner {
         shrinks
     }
 
-    /// Runs the halving ladder. `eval` simulates one point at the given
-    /// shrink factor and must be deterministic in `(point, shrink)`.
+    /// Runs the halving ladder over a report-backed objective. `eval`
+    /// simulates one point at the given shrink factor and must be
+    /// deterministic in `(point, shrink)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for objectives that cannot score a single report
+    /// ([`Objective::ServeP99`]) — wire those through
+    /// [`Self::run_scored`].
     pub fn run<F>(&self, runner: &Runner, eval: F) -> TuneOutcome
     where
         F: Fn(&SweepPoint, usize) -> ExecutionReport + Sync,
+    {
+        let objective = self.spec.objective;
+        assert!(
+            objective.scores_reports(),
+            "objective {:?} needs an external scorer; use Tuner::run_scored",
+            objective.name()
+        );
+        self.run_scored(runner, |point, shrink| {
+            let report = eval(point, shrink);
+            let score = objective.score(&point.config, &report);
+            Evaluation { score, report: Some(report), metrics: Vec::new() }
+        })
+    }
+
+    /// Runs the halving ladder over caller-scored evaluations — the
+    /// general form behind [`Self::run`], and the entry point for
+    /// objectives whose score comes from a larger simulation than one
+    /// kernel run (the serve-p99 objective scores a serving replay).
+    /// `eval` must be deterministic in `(point, shrink)`.
+    pub fn run_scored<F>(&self, runner: &Runner, eval: F) -> TuneOutcome
+    where
+        F: Fn(&SweepPoint, usize) -> Evaluation + Sync,
     {
         let objective = self.spec.objective;
         let scope = self.scope();
@@ -220,24 +301,29 @@ impl Tuner {
 
         for (step, plan) in self.plan.iter().enumerate() {
             let selected: Vec<&SweepPoint> = candidates.iter().map(|&i| &self.points[i]).collect();
-            let reports = runner.run(&selected, |_, point| eval(point, plan.shrink));
+            let results = runner.run(&selected, |_, point| eval(point, plan.shrink));
             evaluations += selected.len();
 
-            // Score and record each evaluation, then rank: ascending score,
-            // point index breaking ties so the ranking is a pure function of
-            // the scores.
+            // Record each evaluation, then rank: ascending score, point
+            // index breaking ties so the ranking is a pure function of the
+            // scores.
             let mut ranked: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
-            for (&index, report) in candidates.iter().zip(&reports) {
+            for (&index, evaluation) in candidates.iter().zip(&results) {
                 let point = &self.points[index];
-                let score = objective.score(&point.config, report);
+                let score =
+                    if evaluation.score.is_finite() { evaluation.score } else { f64::INFINITY };
                 ranked.push((index, score));
-                let mut record = RunRecord::new(format!("{}/rung{}", point.id, plan.index))
-                    .with_execution(report)
-                    .unit_metric("objective_score", score, objective.unit());
-                record.params = point.params();
-                record.params.push(("rung".into(), plan.index.to_string()));
-                record.params.push(("shrink".into(), plan.shrink.to_string()));
-                records.push(record);
+                records.push(evaluation_record(
+                    format!("{}/rung{}", point.id, plan.index),
+                    evaluation,
+                    score,
+                    objective,
+                    point.params(),
+                    &[
+                        ("rung".into(), plan.index.to_string()),
+                        ("shrink".into(), plan.shrink.to_string()),
+                    ],
+                ));
             }
             ranked.sort_by(|a, b| {
                 a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
@@ -275,15 +361,18 @@ impl Tuner {
 
         // Compare the winner against the paper default at the same fidelity.
         let baseline = self.baseline_point(&scope);
-        let baseline_report = eval(&baseline, final_shrink);
-        let baseline_score = objective.score(&baseline.config, &baseline_report);
+        let baseline_eval = eval(&baseline, final_shrink);
+        let baseline_score =
+            if baseline_eval.score.is_finite() { baseline_eval.score } else { f64::INFINITY };
         evaluations += 1;
-        let mut record = RunRecord::new(format!("{scope}/baseline"))
-            .with_execution(&baseline_report)
-            .unit_metric("objective_score", baseline_score, objective.unit());
-        record.params = baseline.params();
-        record.params.push(("shrink".into(), final_shrink.to_string()));
-        records.push(record);
+        records.push(evaluation_record(
+            format!("{scope}/baseline"),
+            &baseline_eval,
+            baseline_score,
+            objective,
+            baseline.params(),
+            &[("shrink".into(), final_shrink.to_string())],
+        ));
 
         let (best, best_score) = if winner_score <= baseline_score {
             (winner.clone(), winner_score)

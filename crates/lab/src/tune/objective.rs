@@ -23,11 +23,20 @@ pub enum Objective {
     /// Execution time, reported as speedup over the paper-default
     /// configuration (`baseline_seconds / best_seconds`).
     Speedup,
+    /// p99 serving latency under a reference request stream (seconds).
+    /// Scores a candidate by what actually matters in production — the
+    /// tail under load, queueing included — instead of single-kernel
+    /// cycles. This objective is scored by a serving simulation, not by a
+    /// single [`ExecutionReport`], so it runs through
+    /// [`Tuner::run_scored`](crate::tune::Tuner::run_scored) (the `tune`
+    /// binary wires `neura_serve` in); [`Objective::score`] panics for it.
+    ServeP99,
 }
 
 impl Objective {
     /// All objectives, in documentation order.
-    pub const ALL: [Objective; 3] = [Objective::Cycles, Objective::EnergyDelay, Objective::Speedup];
+    pub const ALL: [Objective; 4] =
+        [Objective::Cycles, Objective::EnergyDelay, Objective::Speedup, Objective::ServeP99];
 
     /// Stable name used by the `--objective` flag and in artifact params.
     pub fn name(&self) -> &'static str {
@@ -35,6 +44,7 @@ impl Objective {
             Objective::Cycles => "cycles",
             Objective::EnergyDelay => "energy-delay",
             Objective::Speedup => "speedup",
+            Objective::ServeP99 => "serve-p99",
         }
     }
 
@@ -44,22 +54,38 @@ impl Objective {
             Objective::Cycles => "cycles",
             Objective::EnergyDelay => "J*s",
             Objective::Speedup => "s",
+            Objective::ServeP99 => "s",
         }
     }
 
     /// Parses a flag value (`"cycles"`, `"energy-delay"`/`"edp"`,
-    /// `"speedup"`).
+    /// `"speedup"`, `"serve-p99"`/`"p99"`).
     pub fn parse(name: &str) -> Option<Objective> {
         match name {
             "cycles" => Some(Objective::Cycles),
             "energy-delay" | "edp" => Some(Objective::EnergyDelay),
             "speedup" => Some(Objective::Speedup),
+            "serve-p99" | "p99" => Some(Objective::ServeP99),
             _ => None,
         }
     }
 
+    /// Whether [`Self::score`] can condense an [`ExecutionReport`] into
+    /// this objective's score. False for [`Objective::ServeP99`], which
+    /// needs a serving simulation and a caller-supplied score.
+    pub fn scores_reports(&self) -> bool {
+        !matches!(self, Objective::ServeP99)
+    }
+
     /// Scores one run; lower is better for every objective. Non-finite
     /// inputs score `+inf` so they can never win a rung.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Objective::ServeP99`]: a single kernel report carries
+    /// no tail latency. Use
+    /// [`Tuner::run_scored`](crate::tune::Tuner::run_scored) with a
+    /// serving evaluator instead.
     pub fn score(&self, config: &ChipConfig, report: &ExecutionReport) -> f64 {
         let score = match self {
             Objective::Cycles => report.total_cycles as f64,
@@ -68,6 +94,10 @@ impl Objective {
                 power * report.execution_seconds * report.execution_seconds
             }
             Objective::Speedup => report.execution_seconds,
+            Objective::ServeP99 => panic!(
+                "the serve-p99 objective is scored by a serving simulation; \
+                 run the tuner through Tuner::run_scored"
+            ),
         };
         if score.is_finite() {
             score
@@ -87,7 +117,22 @@ mod tests {
             assert_eq!(Objective::parse(objective.name()), Some(objective));
         }
         assert_eq!(Objective::parse("edp"), Some(Objective::EnergyDelay));
+        assert_eq!(Objective::parse("p99"), Some(Objective::ServeP99));
         assert_eq!(Objective::parse("bogus"), None);
+    }
+
+    #[test]
+    fn only_serve_p99_needs_an_external_scorer() {
+        for objective in Objective::ALL {
+            assert_eq!(objective.scores_reports(), objective != Objective::ServeP99);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "serving simulation")]
+    fn serve_p99_rejects_report_scoring() {
+        let report = fake_report(10, 1.0);
+        Objective::ServeP99.score(&ChipConfig::tile_16(), &report);
     }
 
     #[test]

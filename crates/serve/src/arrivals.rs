@@ -1,4 +1,5 @@
-//! Deterministic request-stream generation.
+//! Deterministic request generation: open-loop streams and closed-loop
+//! client populations.
 //!
 //! A [`StreamSpec`] names an arrival process, a target rate, a duration and
 //! the request mix; [`StreamSpec::generate`] expands it into a concrete,
@@ -13,6 +14,19 @@
 //!   at `rate / BURST_ON_FRACTION` and kept only inside the "on" fraction
 //!   of each [`BURST_PERIOD_S`] window, preserving the target *mean* rate
 //!   while concentrating it into bursts (the worst case for tail latency).
+//!
+//! Open-loop arrivals ignore completions: the stream keeps coming however
+//! slow the fleet is, which is right for aggregate internet traffic but
+//! wrong for interactive users, who wait for a response before issuing the
+//! next request. A [`ClosedLoopSpec`] models those: `clients` users, each
+//! issuing one request, thinking for an exponential
+//! [`think_s`](ClosedLoopSpec::think_s)-mean pause after its response, then
+//! issuing the next — so at most `clients` requests are ever in flight and
+//! offered load backs off under saturation. Closed-loop arrivals depend on
+//! completions, so they cannot be pre-materialised; the simulation drives
+//! them through an event source (see [`crate::sim`]) while each client's
+//! draws come from its own seeded RNG stream, keeping the replay a pure
+//! function of the spec regardless of service order.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -155,6 +169,115 @@ fn in_burst_window(t: f64, period_s: f64) -> bool {
     (t / period_s).fract() < BURST_ON_FRACTION
 }
 
+/// Declarative description of a closed-loop client population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedLoopSpec {
+    /// Number of clients; the hard cap on in-flight requests.
+    pub clients: usize,
+    /// Mean think time in seconds (exponential): the pause between
+    /// receiving a response and issuing the next request. Client start
+    /// times are staggered by one think draw each, so the population does
+    /// not arrive as a thundering herd at t = 0.
+    pub think_s: f64,
+    /// Horizon in seconds: no request is *issued* at or after it
+    /// (in-flight requests still complete).
+    pub duration_s: f64,
+    /// Number of datasets in the serving mix; each request draws its
+    /// dataset index uniformly from `0..mix_size`.
+    pub mix_size: usize,
+    /// Per-request workload shrink factors, drawn uniformly per request.
+    pub shrinks: Vec<usize>,
+    /// Base RNG seed; each client derives its own stream from it.
+    pub seed: u64,
+}
+
+/// Per-client request-generation state: one independently seeded RNG per
+/// client, so the sequence of (think, class) draws a client makes is a pure
+/// function of `(spec, client index)` — the order in which the fleet serves
+/// other clients cannot perturb it.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopClients {
+    spec: ClosedLoopSpec,
+    rngs: Vec<StdRng>,
+}
+
+impl ClosedLoopSpec {
+    /// Validates the spec and builds the per-client generator state plus
+    /// each client's first issue time (one staggered think draw each).
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no clients, the think time is negative or
+    /// non-finite, the duration is not positive, the mix is empty, or no
+    /// shrink factor is given.
+    pub fn clients(&self) -> (ClosedLoopClients, Vec<(f64, usize)>) {
+        assert!(self.clients >= 1, "a closed loop needs at least one client");
+        assert!(
+            self.think_s.is_finite() && self.think_s >= 0.0,
+            "think time must be finite and non-negative"
+        );
+        assert!(
+            self.duration_s.is_finite() && self.duration_s > 0.0,
+            "closed-loop duration must be positive"
+        );
+        assert!(self.mix_size >= 1, "the serving mix needs at least one dataset");
+        assert!(!self.shrinks.is_empty(), "at least one request shrink factor is required");
+
+        let mut rngs = Vec::with_capacity(self.clients);
+        let mut first = Vec::with_capacity(self.clients);
+        for client in 0..self.clients {
+            let seed = neura_lab::spec::derive_seed(self.seed, &format!("client{client}"));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let start = exp_draw(&mut rng, self.think_s);
+            rngs.push(rng);
+            first.push((start, client));
+        }
+        (ClosedLoopClients { spec: self.clone(), rngs }, first)
+    }
+}
+
+impl ClosedLoopClients {
+    /// Draws the class of `client`'s next request.
+    pub fn draw_class(&mut self, client: usize) -> RequestClass {
+        let rng = &mut self.rngs[client];
+        let dataset = rng.gen_range(0..self.spec.mix_size);
+        let shrink = self.spec.shrinks[rng.gen_range(0..self.spec.shrinks.len())];
+        RequestClass { dataset, shrink }
+    }
+
+    /// The time `client` issues its next request after a response at
+    /// `completion_s`, or `None` when that lands at or beyond the horizon
+    /// (the client retires).
+    pub fn next_issue_at(&mut self, client: usize, completion_s: f64) -> Option<f64> {
+        let think = exp_draw(&mut self.rngs[client], self.spec.think_s);
+        let at = completion_s + think;
+        (at < self.spec.duration_s).then_some(at)
+    }
+
+    /// The population's horizon.
+    pub fn duration_s(&self) -> f64 {
+        self.spec.duration_s
+    }
+}
+
+/// An exponential draw with the given mean (0 when the mean is 0). The RNG
+/// is always advanced, so think-time settings never shift later draws.
+fn exp_draw(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() * mean
+}
+
+/// One serving workload: an open-loop stream or a closed-loop population.
+/// The unit every scenario simulates and every sweep axis enumerates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Open-loop: arrivals ignore completions.
+    Open(StreamSpec),
+    /// Closed-loop: each client waits for its response (plus a think time)
+    /// before issuing the next request.
+    Closed(ClosedLoopSpec),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +373,63 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_is_rejected() {
         StreamSpec { rps: 0.0, ..spec(ArrivalProcess::Poisson, 1) }.generate();
+    }
+
+    fn closed_spec(seed: u64) -> ClosedLoopSpec {
+        ClosedLoopSpec {
+            clients: 4,
+            think_s: 0.01,
+            duration_s: 1.0,
+            mix_size: 2,
+            shrinks: vec![1, 2],
+            seed,
+        }
+    }
+
+    #[test]
+    fn closed_loop_clients_are_seeded_independently_and_deterministically() {
+        let (mut a, first_a) = closed_spec(9).clients();
+        let (mut b, first_b) = closed_spec(9).clients();
+        assert_eq!(first_a, first_b, "same spec, same staggered starts");
+        assert_eq!(first_a.len(), 4);
+        for (start, client) in &first_a {
+            assert!(*start >= 0.0 && start.is_finite());
+            assert_eq!(a.draw_class(*client), b.draw_class(*client));
+        }
+        // Interleaving other clients' draws must not perturb a client's own
+        // stream: draw client 0 again on `a` after touching 1..3 above, and
+        // on `b` directly.
+        assert_eq!(a.draw_class(0), b.draw_class(0));
+        let (_, first_c) = closed_spec(10).clients();
+        assert_ne!(first_a, first_c, "different seeds decorrelate");
+    }
+
+    #[test]
+    fn closed_loop_clients_retire_at_the_horizon() {
+        let (mut clients, _) = closed_spec(3).clients();
+        let next = clients.next_issue_at(0, 0.5).expect("mid-stream completions re-issue");
+        assert!(next > 0.5 && next < 1.0 + 1.0, "completion plus a think draw");
+        assert_eq!(clients.next_issue_at(0, 1.0), None, "at the horizon the client retires");
+        assert_eq!(clients.duration_s(), 1.0);
+    }
+
+    #[test]
+    fn zero_think_time_issues_immediately_and_still_advances_the_rng() {
+        let spec = ClosedLoopSpec { think_s: 0.0, ..closed_spec(5) };
+        let (mut clients, first) = spec.clients();
+        assert!(first.iter().all(|&(t, _)| t == 0.0));
+        assert_eq!(clients.next_issue_at(0, 0.25), Some(0.25));
+        let with_think = ClosedLoopSpec { think_s: 0.01, ..closed_spec(5) };
+        let (mut thinking, _) = with_think.clients();
+        // Same seed: class draws line up because the think draw consumed
+        // one RNG step in both populations.
+        thinking.next_issue_at(0, 0.25);
+        assert_eq!(clients.draw_class(0), thinking.draw_class(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_client_population_is_rejected() {
+        ClosedLoopSpec { clients: 0, ..closed_spec(1) }.clients();
     }
 }

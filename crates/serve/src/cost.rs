@@ -3,11 +3,16 @@
 //! Simulating every request of a stream cycle-by-cycle would make serving
 //! experiments quadratically expensive, so the serving layer charges each
 //! dispatched batch a *memoised* cycle cost: one cycle-level simulation per
-//! distinct [`RequestClass`] (dataset of the mix × per-request shrink
-//! factor), measured once up front on the fleet's `ChipConfig` and reused
-//! for every batch of that class. Batching amortises operand traffic — every
-//! request of a batch queries the same graph — so requests beyond the first
-//! are charged only a marginal fraction of the single-request cost.
+//! distinct *(chip fingerprint, [`RequestClass`])* pair, measured once up
+//! front and reused for every batch of that class on every shard running
+//! that silicon. Keying by [`ChipConfig::fingerprint`] rather than by fleet
+//! group means a heterogeneous fleet whose groups share a configuration
+//! never re-simulates the shared classes, and two groups with different
+//! chips each get their own measured costs.
+//!
+//! Batching amortises operand traffic — every request of a batch queries
+//! the same graph — so requests beyond the first are charged only a
+//! marginal fraction of the single-request cost.
 
 use std::collections::BTreeMap;
 
@@ -27,13 +32,15 @@ pub struct RequestClass {
     pub shrink: usize,
 }
 
-/// Measured cost of serving a *single* request of one class.
+/// Measured cost of serving a *single* request of one class on one chip
+/// configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassCost {
     /// Cycle cost of one request, from the cycle-level `neura_chip` run.
     pub cycles: u64,
     /// Floating-point operations of one request
-    /// (`WorkloadProfile::flops`) — the shortest-job-first weight.
+    /// (`WorkloadProfile::flops`) — the shortest-job-first weight, a
+    /// property of the workload alone (identical across chips).
     pub flops: u64,
 }
 
@@ -42,37 +49,45 @@ pub struct ClassCost {
 /// batch; accumulation work is not).
 pub const DEFAULT_MARGINAL_BATCH_FRACTION: f64 = 0.5;
 
-/// Memoised per-class costs plus the conversion from cycles to seconds.
+/// Memoised per-(fingerprint, class) costs plus the per-fingerprint
+/// conversion from cycles to seconds.
+///
+/// A fingerprint must be registered (with its cycle time) before costs can
+/// be inserted or queried under it; [`CostTable::register`] derives both
+/// from a [`ChipConfig`], and `register_rate` exists for synthetic tables
+/// in tests.
 #[derive(Debug, Clone)]
 pub struct CostTable {
-    seconds_per_cycle: f64,
     marginal_fraction: f64,
+    /// Fingerprint → cycle time + per-class costs on that silicon. Nested
+    /// (rather than keyed by `(String, RequestClass)` pairs) so the
+    /// dispatch hot path looks costs up by `&str` without allocating.
+    silicon: BTreeMap<String, FingerprintCosts>,
+    /// Class → flops (chip-independent; the SJF weight).
+    flops: BTreeMap<RequestClass, u64>,
+}
+
+/// One registered configuration's cycle time and measured class costs.
+#[derive(Debug, Clone)]
+struct FingerprintCosts {
+    seconds_per_cycle: f64,
     costs: BTreeMap<RequestClass, ClassCost>,
 }
 
-impl CostTable {
-    /// Creates an empty table converting cycles to seconds at the given
-    /// rate, with the default marginal batch fraction.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `seconds_per_cycle` is finite and positive.
-    pub fn new(seconds_per_cycle: f64) -> Self {
-        assert!(
-            seconds_per_cycle.is_finite() && seconds_per_cycle > 0.0,
-            "seconds per cycle must be finite and positive"
-        );
-        CostTable {
-            seconds_per_cycle,
-            marginal_fraction: DEFAULT_MARGINAL_BATCH_FRACTION,
-            costs: BTreeMap::new(),
-        }
+impl Default for CostTable {
+    fn default() -> Self {
+        Self::new()
     }
+}
 
-    /// Creates an empty table for a fleet of chips running `config`
-    /// (cycles convert at [`ChipConfig::seconds_per_cycle`]).
-    pub fn for_config(config: &ChipConfig) -> Self {
-        Self::new(config.seconds_per_cycle())
+impl CostTable {
+    /// Creates an empty table with the default marginal batch fraction.
+    pub fn new() -> Self {
+        CostTable {
+            marginal_fraction: DEFAULT_MARGINAL_BATCH_FRACTION,
+            silicon: BTreeMap::new(),
+            flops: BTreeMap::new(),
+        }
     }
 
     /// Overrides the marginal batch fraction (builder style).
@@ -86,56 +101,150 @@ impl CostTable {
         self
     }
 
-    /// Records the measured cost of one class (replacing any previous entry).
-    pub fn insert(&mut self, class: RequestClass, cost: ClassCost) {
-        self.costs.insert(class, cost);
+    /// Registers a chip configuration and returns its fingerprint — the key
+    /// under which this configuration's class costs live. Registering the
+    /// same configuration twice is a no-op returning the same key.
+    pub fn register(&mut self, config: &ChipConfig) -> String {
+        let fingerprint = config.fingerprint();
+        self.register_rate(fingerprint.clone(), config.seconds_per_cycle());
+        fingerprint
     }
 
-    /// The measured cost of one class.
+    /// Registers a synthetic fingerprint with an explicit cycle time —
+    /// tables in tests need not construct a full [`ChipConfig`].
     ///
     /// # Panics
     ///
-    /// Panics when the class was never measured: a missing entry means the
-    /// stream and the memoisation phase disagree about the request mix,
-    /// which must fail loudly rather than serve a request for free.
-    pub fn cost(&self, class: RequestClass) -> ClassCost {
-        *self
-            .costs
-            .get(&class)
-            .unwrap_or_else(|| panic!("no memoised cost for request class {class:?}"))
+    /// Panics unless `seconds_per_cycle` is finite and positive.
+    pub fn register_rate(&mut self, fingerprint: impl Into<String>, seconds_per_cycle: f64) {
+        assert!(
+            seconds_per_cycle.is_finite() && seconds_per_cycle > 0.0,
+            "seconds per cycle must be finite and positive"
+        );
+        self.silicon
+            .entry(fingerprint.into())
+            .or_insert(FingerprintCosts { seconds_per_cycle, costs: BTreeMap::new() })
+            .seconds_per_cycle = seconds_per_cycle;
     }
 
-    /// Service time of a batch of `batch_size` same-class requests: the full
-    /// single-request cost for the first request plus the marginal fraction
-    /// for each additional one.
+    /// Whether a fingerprint has been registered.
+    pub fn is_registered(&self, fingerprint: &str) -> bool {
+        self.silicon.contains_key(fingerprint)
+    }
+
+    /// Whether the cost of a class has been measured under a fingerprint —
+    /// the memoisation check: a mixed fleet only simulates the
+    /// (fingerprint, class) pairs this returns `false` for.
+    pub fn contains(&self, fingerprint: &str, class: RequestClass) -> bool {
+        self.silicon.get(fingerprint).is_some_and(|entry| entry.costs.contains_key(&class))
+    }
+
+    /// Records the measured cost of one class under one fingerprint
+    /// (replacing any previous entry).
     ///
     /// # Panics
     ///
-    /// Panics when `batch_size == 0` or the class is unknown.
-    pub fn service_seconds(&self, class: RequestClass, batch_size: usize) -> f64 {
+    /// Panics when the fingerprint was never registered — a cost without a
+    /// cycle time could never be converted to a service time.
+    pub fn insert(&mut self, fingerprint: &str, class: RequestClass, cost: ClassCost) {
+        let entry = self.silicon.get_mut(fingerprint).unwrap_or_else(|| {
+            panic!("fingerprint {fingerprint:?} must be registered before costs are inserted")
+        });
+        // A zero-cycle request would serve in zero time, letting a
+        // zero-think closed loop spin the event clock in place forever.
+        assert!(cost.cycles >= 1, "a request costs at least one cycle");
+        entry.costs.insert(class, cost);
+        self.flops.insert(class, cost.flops);
+    }
+
+    /// The measured cost of one class under one fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pair was never measured: a missing entry means the
+    /// stream and the memoisation phase disagree about the request mix or
+    /// the fleet, which must fail loudly rather than serve a request for
+    /// free.
+    pub fn cost(&self, fingerprint: &str, class: RequestClass) -> ClassCost {
+        *self.silicon.get(fingerprint).and_then(|entry| entry.costs.get(&class)).unwrap_or_else(
+            || panic!("no memoised cost for request class {class:?} under {fingerprint:?}"),
+        )
+    }
+
+    /// Service time of a batch of `batch_size` same-class requests on a
+    /// shard running the fingerprinted silicon: the full single-request cost
+    /// for the first request plus the marginal fraction for each additional
+    /// one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size == 0` or the pair is unknown.
+    pub fn service_seconds(
+        &self,
+        fingerprint: &str,
+        class: RequestClass,
+        batch_size: usize,
+    ) -> f64 {
         assert!(batch_size >= 1, "a batch serves at least one request");
-        let first = self.cost(class).cycles as f64 * self.seconds_per_cycle;
+        let entry = self
+            .silicon
+            .get(fingerprint)
+            .unwrap_or_else(|| panic!("fingerprint {fingerprint:?} was never registered"));
+        let cost = entry.costs.get(&class).unwrap_or_else(|| {
+            panic!("no memoised cost for request class {class:?} under {fingerprint:?}")
+        });
+        let first = cost.cycles as f64 * entry.seconds_per_cycle;
         first * (1.0 + self.marginal_fraction * (batch_size - 1) as f64)
     }
 
-    /// The shortest-job-first weight of one request of a class.
+    /// The shortest-job-first weight of one request of a class — its flops,
+    /// a property of the workload, not of any chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the class was never measured under any fingerprint.
     pub fn weight(&self, class: RequestClass) -> u64 {
-        self.cost(class).flops
+        *self
+            .flops
+            .get(&class)
+            .unwrap_or_else(|| panic!("no memoised weight for request class {class:?}"))
     }
 
-    /// Number of memoised classes.
+    /// The flops of every memoised class, in class order — the basis for
+    /// class-affinity dispatch's big/small split.
+    pub fn class_weights(&self) -> impl Iterator<Item = (RequestClass, u64)> + '_ {
+        self.flops.iter().map(|(class, flops)| (*class, *flops))
+    }
+
+    /// The median flops over all memoised classes (0 when none are
+    /// measured): classes at or above it count as "big" for class-affinity
+    /// dispatch.
+    pub fn median_weight(&self) -> u64 {
+        let weights: Vec<u64> = self.flops.values().copied().collect();
+        if weights.is_empty() {
+            return 0;
+        }
+        // flops BTreeMap values are not sorted by value; sort a copy.
+        let mut sorted = weights;
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    }
+
+    /// Number of memoised (fingerprint, class) entries.
     pub fn len(&self) -> usize {
-        self.costs.len()
+        self.silicon.values().map(|entry| entry.costs.len()).sum()
     }
 
-    /// Whether no class has been measured yet.
+    /// Whether no cost has been measured yet.
     pub fn is_empty(&self) -> bool {
-        self.costs.is_empty()
+        self.silicon.values().all(|entry| entry.costs.is_empty())
     }
 
-    /// The memoised classes and costs, in class order.
-    pub fn entries(&self) -> impl Iterator<Item = (RequestClass, ClassCost)> + '_ {
-        self.costs.iter().map(|(class, cost)| (*class, *cost))
+    /// The memoised entries, in (fingerprint, class) order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, RequestClass, ClassCost)> + '_ {
+        self.silicon.iter().flat_map(|(fp, entry)| {
+            entry.costs.iter().map(move |(class, cost)| (fp.as_str(), *class, *cost))
+        })
     }
 }
 
@@ -143,9 +252,16 @@ impl CostTable {
 mod tests {
     use super::*;
 
+    const FP: &str = "test-chip";
+
     fn table() -> CostTable {
-        let mut t = CostTable::new(1e-9);
-        t.insert(RequestClass { dataset: 0, shrink: 1 }, ClassCost { cycles: 1_000, flops: 50 });
+        let mut t = CostTable::new();
+        t.register_rate(FP, 1e-9);
+        t.insert(
+            FP,
+            RequestClass { dataset: 0, shrink: 1 },
+            ClassCost { cycles: 1_000, flops: 50 },
+        );
         t
     }
 
@@ -153,8 +269,8 @@ mod tests {
     fn service_time_amortises_batched_requests() {
         let t = table().with_marginal_fraction(0.5);
         let class = RequestClass { dataset: 0, shrink: 1 };
-        let one = t.service_seconds(class, 1);
-        let four = t.service_seconds(class, 4);
+        let one = t.service_seconds(FP, class, 1);
+        let four = t.service_seconds(FP, class, 4);
         assert!((one - 1e-6).abs() < 1e-15);
         assert!((four - one * 2.5).abs() < 1e-15, "1 + 0.5 * 3 = 2.5x the single cost");
         assert!(four < 4.0 * one, "batching must be cheaper than serving separately");
@@ -164,38 +280,90 @@ mod tests {
     fn zero_marginal_fraction_makes_batches_free_after_the_first() {
         let t = table().with_marginal_fraction(0.0);
         let class = RequestClass { dataset: 0, shrink: 1 };
-        assert_eq!(t.service_seconds(class, 1), t.service_seconds(class, 8));
+        assert_eq!(t.service_seconds(FP, class, 1), t.service_seconds(FP, class, 8));
     }
 
     #[test]
-    fn for_config_uses_the_chip_frequency() {
-        let t = CostTable::for_config(&ChipConfig::tile_16());
-        assert!(t.is_empty());
-        let mut t = t;
+    fn register_uses_the_chip_frequency_and_fingerprint() {
+        let config = ChipConfig::tile_16();
+        let mut t = CostTable::new();
+        let fp = t.register(&config);
+        assert_eq!(fp, config.fingerprint());
+        assert!(t.is_registered(&fp));
         t.insert(
+            &fp,
             RequestClass { dataset: 0, shrink: 1 },
             ClassCost { cycles: 1_000_000_000, flops: 1 },
         );
         // Tile-16 runs at 1 GHz, so a billion cycles is one second.
-        let s = t.service_seconds(RequestClass { dataset: 0, shrink: 1 }, 1);
+        let s = t.service_seconds(&fp, RequestClass { dataset: 0, shrink: 1 }, 1);
         assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_fingerprints_share_memoised_costs() {
+        // Two groups running identical silicon memoise through one key.
+        let mut t = CostTable::new();
+        let a = t.register(&ChipConfig::tile_16());
+        let b = t.register(&ChipConfig::tile_16());
+        assert_eq!(a, b);
+        let class = RequestClass { dataset: 0, shrink: 1 };
+        t.insert(&a, class, ClassCost { cycles: 10, flops: 5 });
+        assert!(t.contains(&b, class), "the second group sees the first group's measurement");
+        assert_eq!(t.len(), 1);
+        // ... while different silicon gets its own entries.
+        let c = t.register(&ChipConfig::tile_64());
+        assert!(!t.contains(&c, class));
     }
 
     #[test]
     #[should_panic(expected = "no memoised cost")]
     fn unknown_class_fails_loudly() {
-        table().cost(RequestClass { dataset: 9, shrink: 1 });
+        table().cost(FP, RequestClass { dataset: 9, shrink: 1 });
     }
 
     #[test]
-    fn entries_iterate_in_class_order() {
-        let mut t = CostTable::new(1.0);
-        t.insert(RequestClass { dataset: 1, shrink: 1 }, ClassCost { cycles: 2, flops: 2 });
-        t.insert(RequestClass { dataset: 0, shrink: 2 }, ClassCost { cycles: 1, flops: 1 });
-        let classes: Vec<RequestClass> = t.entries().map(|(c, _)| c).collect();
+    #[should_panic(expected = "must be registered")]
+    fn inserting_under_an_unregistered_fingerprint_is_a_bug() {
+        let mut t = CostTable::new();
+        t.insert(
+            "ghost",
+            RequestClass { dataset: 0, shrink: 1 },
+            ClassCost { cycles: 1, flops: 1 },
+        );
+    }
+
+    #[test]
+    fn weights_and_median_are_chip_independent() {
+        let mut t = CostTable::new();
+        t.register_rate("a", 1e-9);
+        t.register_rate("b", 2e-9);
+        let small = RequestClass { dataset: 0, shrink: 4 };
+        let big = RequestClass { dataset: 0, shrink: 1 };
+        t.insert("a", small, ClassCost { cycles: 10, flops: 25 });
+        t.insert("a", big, ClassCost { cycles: 100, flops: 100 });
+        t.insert("b", big, ClassCost { cycles: 60, flops: 100 });
+        assert_eq!(t.weight(big), 100);
+        assert_eq!(t.weight(small), 25);
+        assert_eq!(t.median_weight(), 100, "median over classes, not entries");
+        let classes: Vec<RequestClass> = t.class_weights().map(|(c, _)| c).collect();
+        assert_eq!(classes, vec![big, small], "class order: shrink 1 sorts before shrink 4");
+    }
+
+    #[test]
+    fn entries_iterate_in_fingerprint_then_class_order() {
+        let mut t = CostTable::new();
+        t.register_rate("b", 1.0);
+        t.register_rate("a", 1.0);
+        t.insert("b", RequestClass { dataset: 0, shrink: 1 }, ClassCost { cycles: 2, flops: 2 });
+        t.insert("a", RequestClass { dataset: 1, shrink: 1 }, ClassCost { cycles: 1, flops: 1 });
+        let keys: Vec<(&str, RequestClass)> = t.entries().map(|(fp, c, _)| (fp, c)).collect();
         assert_eq!(
-            classes,
-            vec![RequestClass { dataset: 0, shrink: 2 }, RequestClass { dataset: 1, shrink: 1 }]
+            keys,
+            vec![
+                ("a", RequestClass { dataset: 1, shrink: 1 }),
+                ("b", RequestClass { dataset: 0, shrink: 1 })
+            ]
         );
         assert_eq!(t.len(), 2);
     }

@@ -1,11 +1,41 @@
-//! The multi-chip shard model: a fleet of identical simulated NeuraChip
-//! instances, each serving one batch at a time.
+//! The multi-chip shard model: a fleet of simulated NeuraChip instances
+//! organised into *shard groups*, each group running its own
+//! [`ChipConfig`] — so a fleet can mix Tile-64 shards for heavy requests
+//! with Tile-4 shards for light ones.
 //!
 //! Shards carry no per-request state — the queueing simulation holds the
-//! backlog centrally — so a shard is just a busy-until horizon plus the
-//! counters behind the per-shard utilisation metrics. Dispatch always picks
-//! the least-loaded shard (earliest busy-until, ties broken by shard index),
-//! which keeps the fleet deterministic and work-conserving.
+//! backlog centrally — so a shard is a busy-until horizon, an active flag
+//! (autoscaling provisions and retires shards over time) and the counters
+//! behind the per-shard/per-group utilisation and shard-seconds metrics.
+//! *Which* idle shard a batch lands on is the dispatch policy's decision
+//! (see [`crate::dispatch`]); the fleet only answers questions and keeps
+//! the books.
+
+use neura_chip::config::ChipConfig;
+
+/// Spec-level description of one shard group: `shards` replicas of one
+/// chip configuration under a stable short name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardGroup {
+    /// Stable short name, used in run IDs and per-group records ("t64").
+    pub name: String,
+    /// The configuration every shard of the group runs.
+    pub config: ChipConfig,
+    /// Initial (and, without autoscaling, fixed) shard count.
+    pub shards: usize,
+}
+
+impl ShardGroup {
+    /// Creates a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0`.
+    pub fn new(name: impl Into<String>, config: ChipConfig, shards: usize) -> Self {
+        assert!(shards >= 1, "a shard group needs at least one shard");
+        ShardGroup { name: name.into(), config, shards }
+    }
+}
 
 /// Aggregate counters of one shard over a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -18,49 +48,202 @@ pub struct ShardStats {
     pub requests: u64,
 }
 
-/// A fleet of identical accelerator shards.
+/// Aggregate counters of one shard group over a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupStats {
+    /// The group's name.
+    pub name: String,
+    /// Allocated shard slots (the autoscaler's upper bound; equals the
+    /// spec'd count for fixed fleets).
+    pub capacity: usize,
+    /// Total seconds the group's shards spent serving batches.
+    pub busy_s: f64,
+    /// Batches the group served.
+    pub batches: u64,
+    /// Requests the group served.
+    pub requests: u64,
+    /// Provisioned shard-seconds: the integral of the group's active shard
+    /// count over time — the cost an operator pays for the capacity,
+    /// whether or not it was busy.
+    pub shard_seconds: f64,
+    /// Largest number of simultaneously active shards.
+    pub peak_active: usize,
+}
+
+/// Static per-group information the dispatch policies read.
+#[derive(Debug, Clone)]
+struct GroupInfo {
+    name: String,
+    fingerprint: String,
+    peak_gflops: f64,
+    capacity: usize,
+    first_shard: usize,
+}
+
+/// A fleet of accelerator shards organised into groups.
+///
+/// Shard indices are global and stable: group 0's slots come first, then
+/// group 1's, and so on; a group's slots never move, whether active or not.
 #[derive(Debug, Clone)]
 pub struct ShardFleet {
+    groups: Vec<GroupInfo>,
+    shard_group: Vec<usize>,
     busy_until: Vec<f64>,
+    active: Vec<bool>,
     stats: Vec<ShardStats>,
+    active_seconds: Vec<f64>,
+    peak_active: Vec<usize>,
 }
 
 impl ShardFleet {
-    /// Creates a fleet of `shards` idle shards.
+    /// Creates a fleet with every spec'd shard active. `capacity_per_group`
+    /// optionally over-allocates slots (the autoscaler's `max`); `None`
+    /// sizes each group exactly to its spec.
     ///
     /// # Panics
     ///
-    /// Panics when `shards == 0`.
-    pub fn new(shards: usize) -> Self {
-        assert!(shards >= 1, "a fleet needs at least one shard");
-        ShardFleet { busy_until: vec![0.0; shards], stats: vec![ShardStats::default(); shards] }
-    }
-
-    /// Number of shards in the fleet.
-    pub fn len(&self) -> usize {
-        self.busy_until.len()
-    }
-
-    /// Whether the fleet has no shards (never true by construction).
-    pub fn is_empty(&self) -> bool {
-        self.busy_until.is_empty()
-    }
-
-    /// The least-loaded shard that is idle at `now` (earliest busy-until,
-    /// ties broken by index), if any.
-    pub fn idle_shard(&self, now: f64) -> Option<usize> {
-        let mut best: Option<usize> = None;
-        for (i, &until) in self.busy_until.iter().enumerate() {
-            if until <= now && best.is_none_or(|b| until < self.busy_until[b]) {
-                best = Some(i);
-            }
+    /// Panics when `groups` is empty, any group capacity is below its
+    /// initial shard count, or two groups share a name.
+    pub fn new(groups: &[ShardGroup], capacity_per_group: Option<&[usize]>) -> Self {
+        assert!(!groups.is_empty(), "a fleet needs at least one shard group");
+        if let Some(caps) = capacity_per_group {
+            assert_eq!(caps.len(), groups.len(), "one capacity per group");
         }
-        best
+        let mut infos = Vec::with_capacity(groups.len());
+        let mut shard_group = Vec::new();
+        let mut active = Vec::new();
+        let mut peak_active = Vec::with_capacity(groups.len());
+        for (g, group) in groups.iter().enumerate() {
+            assert!(
+                infos.iter().all(|i: &GroupInfo| i.name != group.name),
+                "duplicate shard-group name {:?}",
+                group.name
+            );
+            let capacity = capacity_per_group.map(|caps| caps[g]).unwrap_or(group.shards);
+            assert!(
+                capacity >= group.shards,
+                "group {:?} capacity {capacity} is below its initial {} shards",
+                group.name,
+                group.shards
+            );
+            infos.push(GroupInfo {
+                name: group.name.clone(),
+                fingerprint: group.config.fingerprint(),
+                peak_gflops: group.config.peak_gflops(),
+                capacity,
+                first_shard: shard_group.len(),
+            });
+            for slot in 0..capacity {
+                shard_group.push(g);
+                active.push(slot < group.shards);
+            }
+            peak_active.push(group.shards);
+        }
+        let total = shard_group.len();
+        ShardFleet {
+            groups: infos,
+            shard_group,
+            busy_until: vec![0.0; total],
+            active,
+            stats: vec![ShardStats::default(); total],
+            active_seconds: vec![0.0; groups.len()],
+            peak_active,
+        }
     }
 
-    /// The earliest time any shard becomes free.
+    /// Number of shard groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total allocated shard slots (active or not).
+    pub fn capacity(&self) -> usize {
+        self.shard_group.len()
+    }
+
+    /// Whether the fleet has no slots (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.shard_group.is_empty()
+    }
+
+    /// The group a shard slot belongs to.
+    pub fn group_of(&self, shard: usize) -> usize {
+        self.shard_group[shard]
+    }
+
+    /// The cost-table fingerprint of a group's configuration.
+    pub fn fingerprint(&self, group: usize) -> &str {
+        &self.groups[group].fingerprint
+    }
+
+    /// The fingerprint of the group a shard belongs to.
+    pub fn shard_fingerprint(&self, shard: usize) -> &str {
+        self.fingerprint(self.shard_group[shard])
+    }
+
+    /// A group's peak throughput (the class-affinity ranking signal).
+    pub fn peak_gflops(&self, group: usize) -> f64 {
+        self.groups[group].peak_gflops
+    }
+
+    /// A group's name.
+    pub fn group_name(&self, group: usize) -> &str {
+        &self.groups[group].name
+    }
+
+    /// When a shard's current batch finishes (0 when it never served one).
+    pub fn busy_until(&self, shard: usize) -> f64 {
+        self.busy_until[shard]
+    }
+
+    /// Whether a shard slot is currently provisioned.
+    pub fn is_active(&self, shard: usize) -> bool {
+        self.active[shard]
+    }
+
+    /// Number of active shards across the fleet.
+    pub fn active_shards(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of active shards in one group.
+    pub fn active_in_group(&self, group: usize) -> usize {
+        self.group_slots(group).filter(|&s| self.active[s]).count()
+    }
+
+    /// Global slot indices of one group.
+    fn group_slots(&self, group: usize) -> std::ops::Range<usize> {
+        let info = &self.groups[group];
+        info.first_shard..info.first_shard + info.capacity
+    }
+
+    /// The active shards that are idle at `now`, in slot order — the
+    /// candidate set every dispatch policy chooses from.
+    pub fn idle_shards(&self, now: f64) -> Vec<usize> {
+        (0..self.capacity()).filter(|&s| self.active[s] && self.busy_until[s] <= now).collect()
+    }
+
+    /// The earliest time any active shard becomes free.
     pub fn next_free_at(&self) -> f64 {
-        self.busy_until.iter().copied().fold(f64::INFINITY, f64::min)
+        self.busy_until
+            .iter()
+            .zip(&self.active)
+            .filter(|&(_, &active)| active)
+            .map(|(&until, _)| until)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The earliest *future* release: the smallest busy-until strictly
+    /// beyond `now` over active shards (infinity when nothing is busy).
+    /// The event the simulation waits on while a dispatch policy holds a
+    /// batch for busy preferred silicon even though other shards idle.
+    pub fn next_busy_free_at(&self, now: f64) -> f64 {
+        self.busy_until
+            .iter()
+            .zip(&self.active)
+            .filter(|&(&until, &active)| active && until > now)
+            .map(|(&until, _)| until)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Starts a batch of `requests` requests on `shard` at `now` for
@@ -68,9 +251,10 @@ impl ShardFleet {
     ///
     /// # Panics
     ///
-    /// Panics when the shard is still busy at `now` — the simulation only
-    /// dispatches to idle shards.
+    /// Panics when the shard is inactive or still busy at `now` — the
+    /// simulation only dispatches to idle, provisioned shards.
     pub fn dispatch(&mut self, shard: usize, now: f64, service_s: f64, requests: u64) -> f64 {
+        assert!(self.active[shard], "shard {shard} is not provisioned at {now}");
         assert!(
             self.busy_until[shard] <= now,
             "shard {shard} is busy until {} at {now}",
@@ -84,9 +268,75 @@ impl ShardFleet {
         finish
     }
 
-    /// Per-shard counters, in shard order.
+    /// Activates one inactive slot of `group` (lowest slot index first).
+    /// Returns the slot, or `None` when the group is at capacity.
+    pub fn activate(&mut self, group: usize, now: f64) -> Option<usize> {
+        let slot = self.group_slots(group).find(|&s| !self.active[s])?;
+        self.active[slot] = true;
+        // A freshly provisioned shard starts idle *now* — any busy horizon
+        // left from a previous activation period is history.
+        self.busy_until[slot] = self.busy_until[slot].max(now);
+        let active = self.active_in_group(group);
+        self.peak_active[group] = self.peak_active[group].max(active);
+        Some(slot)
+    }
+
+    /// Deactivates one *idle* active slot of `group` (highest slot index
+    /// first, so slot 0 — the always-on baseline shard — retires last).
+    /// Returns the slot, or `None` when no active slot is idle at `now`.
+    pub fn deactivate_idle(&mut self, group: usize, now: f64) -> Option<usize> {
+        let slot =
+            self.group_slots(group).rev().find(|&s| self.active[s] && self.busy_until[s] <= now)?;
+        self.active[slot] = false;
+        Some(slot)
+    }
+
+    /// Accrues `dt` seconds of provisioned time to every active shard —
+    /// the simulation calls this once per time step, making
+    /// [`GroupStats::shard_seconds`] the exact integral of active capacity.
+    pub fn accrue(&mut self, dt: f64) {
+        for (g, info) in self.groups.iter().enumerate() {
+            let active = (info.first_shard..info.first_shard + info.capacity)
+                .filter(|&s| self.active[s])
+                .count();
+            self.active_seconds[g] += active as f64 * dt;
+        }
+    }
+
+    /// Per-shard counters, in slot order.
     pub fn stats(&self) -> &[ShardStats] {
         &self.stats
+    }
+
+    /// Per-group aggregates, in group order.
+    pub fn group_stats(&self) -> Vec<GroupStats> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(g, info)| {
+                let slots = info.first_shard..info.first_shard + info.capacity;
+                let mut stats = GroupStats {
+                    name: info.name.clone(),
+                    capacity: info.capacity,
+                    busy_s: 0.0,
+                    batches: 0,
+                    requests: 0,
+                    shard_seconds: self.active_seconds[g],
+                    peak_active: self.peak_active[g],
+                };
+                for s in slots {
+                    stats.busy_s += self.stats[s].busy_s;
+                    stats.batches += self.stats[s].batches;
+                    stats.requests += self.stats[s].requests;
+                }
+                stats
+            })
+            .collect()
+    }
+
+    /// The group → shard-slot mapping, one group index per slot.
+    pub fn shard_groups(&self) -> &[usize] {
+        &self.shard_group
     }
 }
 
@@ -94,45 +344,113 @@ impl ShardFleet {
 mod tests {
     use super::*;
 
-    #[test]
-    fn dispatch_prefers_the_longest_idle_shard_then_the_lowest_index() {
-        let mut fleet = ShardFleet::new(3);
-        assert_eq!(fleet.idle_shard(0.0), Some(0), "all idle: lowest index wins");
-        fleet.dispatch(0, 0.0, 2.0, 1);
-        fleet.dispatch(1, 0.0, 1.0, 1);
-        // At t=1.5 shard 1 (free since 1.0) and shard 2 (free since 0.0)
-        // are idle; shard 2 has been idle longer.
-        assert_eq!(fleet.idle_shard(1.5), Some(2));
-        fleet.dispatch(2, 1.5, 5.0, 1);
-        assert_eq!(fleet.idle_shard(1.5), Some(1));
-        fleet.dispatch(1, 1.5, 5.0, 1);
-        assert_eq!(fleet.idle_shard(1.5), None, "every shard busy");
-        assert!((fleet.next_free_at() - 2.0).abs() < 1e-12, "shard 0 frees first");
+    fn two_groups() -> Vec<ShardGroup> {
+        vec![
+            ShardGroup::new("t64", ChipConfig::tile_64(), 1),
+            ShardGroup::new("t4", ChipConfig::tile_4(), 2),
+        ]
     }
 
     #[test]
-    fn stats_accumulate_busy_time_batches_and_requests() {
-        let mut fleet = ShardFleet::new(2);
-        fleet.dispatch(0, 0.0, 1.5, 4);
-        fleet.dispatch(0, 2.0, 0.5, 1);
+    fn slots_are_grouped_and_fingerprinted() {
+        let fleet = ShardFleet::new(&two_groups(), None);
+        assert_eq!(fleet.capacity(), 3);
+        assert_eq!(fleet.group_count(), 2);
+        assert_eq!(fleet.shard_groups(), &[0, 1, 1]);
+        assert_eq!(fleet.fingerprint(0), ChipConfig::tile_64().fingerprint());
+        assert_eq!(fleet.shard_fingerprint(2), ChipConfig::tile_4().fingerprint());
+        assert!(fleet.peak_gflops(0) > fleet.peak_gflops(1));
+        assert_eq!(fleet.group_name(1), "t4");
+        assert_eq!(fleet.active_shards(), 3);
+    }
+
+    #[test]
+    fn dispatch_tracks_busy_horizon_and_stats() {
+        let mut fleet = ShardFleet::new(&two_groups(), None);
+        assert_eq!(fleet.idle_shards(0.0), vec![0, 1, 2]);
+        fleet.dispatch(0, 0.0, 2.0, 4);
+        fleet.dispatch(1, 0.0, 1.0, 1);
+        assert_eq!(fleet.idle_shards(0.5), vec![2]);
+        assert_eq!(fleet.idle_shards(1.5), vec![1, 2]);
+        assert!((fleet.next_free_at() - 0.0).abs() < 1e-12, "shard 2 is already free");
+        fleet.dispatch(2, 0.0, 3.0, 1);
+        assert!((fleet.next_free_at() - 1.0).abs() < 1e-12);
         let stats = fleet.stats()[0];
         assert!((stats.busy_s - 2.0).abs() < 1e-12);
-        assert_eq!(stats.batches, 2);
-        assert_eq!(stats.requests, 5);
-        assert_eq!(fleet.stats()[1], ShardStats::default());
+        assert_eq!((stats.batches, stats.requests), (1, 4));
+    }
+
+    #[test]
+    fn group_stats_aggregate_their_slots() {
+        let mut fleet = ShardFleet::new(&two_groups(), None);
+        fleet.dispatch(1, 0.0, 1.0, 2);
+        fleet.dispatch(2, 0.0, 3.0, 1);
+        fleet.accrue(4.0);
+        let groups = fleet.group_stats();
+        assert_eq!(groups[0].name, "t64");
+        assert_eq!(groups[1].requests, 3);
+        assert!((groups[1].busy_s - 4.0).abs() < 1e-12);
+        assert!((groups[0].shard_seconds - 4.0).abs() < 1e-12, "1 active shard x 4 s");
+        assert!((groups[1].shard_seconds - 8.0).abs() < 1e-12, "2 active shards x 4 s");
+        assert_eq!(groups[1].peak_active, 2);
+    }
+
+    #[test]
+    fn activation_and_deactivation_respect_capacity_and_idleness() {
+        let groups = vec![ShardGroup::new("t16", ChipConfig::tile_16(), 1)];
+        let mut fleet = ShardFleet::new(&groups, Some(&[3]));
+        assert_eq!(fleet.capacity(), 3);
+        assert_eq!(fleet.active_shards(), 1, "over-allocated slots start inactive");
+        assert_eq!(fleet.idle_shards(0.0), vec![0]);
+
+        assert_eq!(fleet.activate(0, 1.0), Some(1));
+        assert_eq!(fleet.activate(0, 1.0), Some(2));
+        assert_eq!(fleet.activate(0, 1.0), None, "at capacity");
+        assert_eq!(fleet.active_in_group(0), 3);
+
+        fleet.dispatch(2, 1.0, 5.0, 1);
+        fleet.dispatch(0, 1.0, 1.0, 1);
+        // Highest *idle* slot retires first: slots 0 and 2 are busy, so
+        // slot 1 goes; after that nothing is idle, so nothing retires.
+        assert_eq!(fleet.deactivate_idle(0, 1.0), Some(1));
+        assert_eq!(fleet.deactivate_idle(0, 1.0), None, "remaining active slots are busy");
+        assert_eq!(fleet.active_shards(), 2);
+        assert_eq!(fleet.group_stats()[0].peak_active, 3);
+    }
+
+    #[test]
+    fn reactivated_slots_start_idle() {
+        let groups = vec![ShardGroup::new("t16", ChipConfig::tile_16(), 1)];
+        let mut fleet = ShardFleet::new(&groups, Some(&[2]));
+        fleet.activate(0, 0.0);
+        fleet.dispatch(1, 0.0, 1.0, 1);
+        assert_eq!(fleet.deactivate_idle(0, 1.0), Some(1));
+        // Re-provision later: the old busy horizon must not bleed through.
+        assert_eq!(fleet.activate(0, 5.0), Some(1));
+        assert!(fleet.idle_shards(5.0).contains(&1));
     }
 
     #[test]
     #[should_panic(expected = "is busy until")]
     fn dispatching_to_a_busy_shard_is_a_bug() {
-        let mut fleet = ShardFleet::new(1);
+        let mut fleet = ShardFleet::new(&two_groups(), None);
         fleet.dispatch(0, 0.0, 2.0, 1);
         fleet.dispatch(0, 1.0, 1.0, 1);
     }
 
     #[test]
-    #[should_panic(expected = "at least one shard")]
+    #[should_panic(expected = "at least one shard group")]
     fn empty_fleet_is_rejected() {
-        ShardFleet::new(0);
+        ShardFleet::new(&[], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate shard-group name")]
+    fn duplicate_group_names_are_rejected() {
+        let groups = vec![
+            ShardGroup::new("t16", ChipConfig::tile_16(), 1),
+            ShardGroup::new("t16", ChipConfig::tile_16(), 1),
+        ];
+        ShardFleet::new(&groups, None);
     }
 }

@@ -3,47 +3,64 @@
 //!
 //! The rest of the workspace evaluates the accelerator one kernel at a
 //! time; this crate models what happens when *many* GNN/SpGEMM inference
-//! requests contend for a fleet of simulated chips: open-loop arrival
-//! streams, scheduling/batching policies and multi-chip sharding, measured
-//! as tail latency, sustained throughput, queue depth and per-shard
-//! utilisation. Data flows through five modules:
+//! requests contend for a fleet of simulated chips: open- and closed-loop
+//! workloads, scheduling/batching policies, heterogeneous multi-chip
+//! sharding with class-aware dispatch, and elastic (autoscaled) capacity,
+//! measured as tail latency, sustained throughput, queue depth, per-shard
+//! and per-group utilisation and provisioned shard-seconds cost. Data
+//! flows through seven modules:
 //!
-//! 1. **[`arrivals`]** — a [`StreamSpec`] (Poisson or bursty on/off
+//! 1. **[`arrivals`]** — demand. A [`StreamSpec`] (Poisson or bursty
 //!    arrivals, target rate, duration, request mix) expands into a
-//!    deterministic, time-sorted request stream via the workspace's seeded
-//!    `StdRng`.
-//! 2. **[`cost`]** — a [`CostTable`] memoises the cycle cost of one request
-//!    per [`RequestClass`] (dataset × per-request shrink), measured once on
-//!    the fleet's `ChipConfig` through the existing cycle-level `neura_chip`
-//!    execution path, so large streams never re-simulate the chip.
-//! 3. **[`policy`]** — FIFO, shortest-job-first (weighted by
-//!    `WorkloadProfile::flops`) and batch-by-dataset (max-batch-size /
-//!    timeout knobs) dispatch ordering.
-//! 4. **[`fleet`]** — the shard model: identical chip replicas, each batch
-//!    dispatched to the least-loaded idle shard.
-//! 5. **[`sim`]** — the event-driven replay producing a [`ServeOutcome`]:
-//!    p50/p95/p99 latency, throughput, queue depth and utilisation, emitted
-//!    as `neura_lab` `RunRecord`s.
+//!    deterministic, time-sorted open-loop stream; a [`ClosedLoopSpec`]
+//!    describes N clients with seeded think times whose next request only
+//!    exists once the previous response lands. Both are [`Workload`]s.
+//! 2. **[`cost`]** — a [`CostTable`] memoises the cycle cost of one
+//!    request per *(chip fingerprint, [`RequestClass`])* pair
+//!    (`ChipConfig::fingerprint` × dataset × per-request shrink), measured
+//!    once through the existing cycle-level `neura_chip` execution path —
+//!    so large streams never re-simulate the chip and mixed fleets never
+//!    re-simulate classes their groups share.
+//! 3. **[`policy`]** — *what* dispatches next: FIFO, shortest-job-first
+//!    (weighted by `WorkloadProfile::flops`) and batch-by-dataset
+//!    (max-batch-size / timeout knobs).
+//! 4. **[`fleet`]** — the shard model: [`ShardGroup`]s of chip replicas
+//!    (each group its own `ChipConfig`), with activation bookkeeping for
+//!    elastic fleets and per-group shard-seconds accounting.
+//! 5. **[`dispatch`]** — *where* it dispatches: the class-aware
+//!    [`DispatchPolicy`] trait with least-loaded, class-affinity
+//!    (big classes → big silicon) and cost-aware implementations.
+//! 6. **[`autoscale`]** — elastic capacity: an [`AutoscalePolicy`]
+//!    queue-depth controller with a provisioning delay, growing and
+//!    shrinking the fleet between bounds while the outcome reports the
+//!    shard-seconds the latency cost.
+//! 7. **[`sim`]** — the event-source replay producing a [`ServeOutcome`]:
+//!    p50/p95/p99 latency, throughput, queue depth, utilisation,
+//!    shard-seconds and scale events, emitted as `neura_lab` `RunRecord`s.
 //!
-//! On top sits **[`spec`]**: a [`ServeSweep`] enumerates arrival × rate ×
-//! policy × shards scenarios with stable IDs and stream seeds derived from
-//! the arrival axes only — so every policy/shard arm replays the identical
-//! stream — ready to fan out on `neura_lab::Runner` (the `serve` binary in
-//! `neura_bench` does exactly that, and its artifact is byte-identical for
-//! any `NEURA_LAB_THREADS`).
+//! On top sits **[`spec`]**: a [`ServeSweep`] enumerates workload × fleet
+//! mix × dispatch × autoscaler × policy scenarios with stable IDs and
+//! workload seeds derived from the workload axes only — so every serving
+//! arm replays the identical demand — ready to fan out on
+//! `neura_lab::Runner` (the `serve` binary in `neura_bench` does exactly
+//! that, and its artifact is byte-identical for any `NEURA_LAB_THREADS`).
 
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod autoscale;
 pub mod cost;
+pub mod dispatch;
 pub mod fleet;
 pub mod policy;
 pub mod sim;
 pub mod spec;
 
-pub use arrivals::{ArrivalProcess, Request, StreamSpec};
+pub use arrivals::{ArrivalProcess, ClosedLoopSpec, Request, StreamSpec, Workload};
+pub use autoscale::{AutoscalePolicy, ScaleEvent};
 pub use cost::{ClassCost, CostTable, RequestClass};
-pub use fleet::{ShardFleet, ShardStats};
+pub use dispatch::{ClassAffinity, CostAware, DispatchKind, DispatchPolicy, LeastLoaded};
+pub use fleet::{GroupStats, ShardFleet, ShardGroup, ShardStats};
 pub use policy::Policy;
-pub use sim::{simulate, ServeOutcome};
-pub use spec::{ServeScenario, ServeSweep};
+pub use sim::{simulate, simulate_stream, ServeOutcome};
+pub use spec::{FleetMix, ServeScenario, ServeSweep, WorkloadAxis};

@@ -1,22 +1,30 @@
 //! The event-driven serving simulation and its metrics.
 //!
-//! [`simulate`] replays one scenario: a pre-generated request stream flows
-//! into a central backlog, the scheduling [`Policy`] turns the backlog into
-//! dispatch units (single requests for FIFO/SJF, per-class batches for the
-//! batching policy), and each unit is charged its memoised service time on
-//! the least-loaded idle shard of a [`ShardFleet`]. The loop advances
-//! through a deterministic event sequence — next arrival, next shard
-//! becoming free, next batch timeout — so the outcome is a pure function of
-//! `(stream, policy, shards, costs)`; nothing about wall-clock time or
-//! thread scheduling can leak into the metrics.
+//! [`simulate`] replays one scenario as an *event-source* loop. Requests
+//! enter from a [`Workload`] — a pre-generated open-loop stream or a
+//! closed-loop client population whose next arrival is only known once the
+//! previous response lands — and flow into a central backlog. The
+//! scheduling [`Policy`] turns the backlog into dispatch units (single
+//! requests for FIFO/SJF, per-class batches for the batching policy), a
+//! class-aware [`DispatchPolicy`](crate::dispatch::DispatchPolicy) places
+//! each unit on one idle shard of a (possibly heterogeneous, possibly
+//! autoscaled) [`ShardFleet`], and the unit is charged the memoised
+//! service time of that shard's silicon. The loop advances through a
+//! deterministic event sequence — next arrival, next shard becoming free,
+//! next batch timeout, next provisioning effect, next autoscaler check —
+//! so the outcome is a pure function of
+//! `(workload, policy, fleet, dispatch, autoscale, costs)`; nothing about
+//! wall-clock time or thread scheduling can leak into the metrics.
 
 use std::collections::{BTreeMap, VecDeque};
 
 use neura_lab::RunRecord;
 
-use crate::arrivals::Request;
+use crate::arrivals::{ClosedLoopClients, Request, Workload};
+use crate::autoscale::{AutoscalePolicy, Decision, ScaleEvent};
 use crate::cost::{CostTable, RequestClass};
-use crate::fleet::{ShardFleet, ShardStats};
+use crate::dispatch::DispatchKind;
+use crate::fleet::{GroupStats, ShardFleet, ShardGroup, ShardStats};
 use crate::policy::Policy;
 
 /// Everything one scenario replay measured.
@@ -24,6 +32,9 @@ use crate::policy::Policy;
 pub struct ServeOutcome {
     /// Per-request latency (completion − arrival) in seconds, id-ordered.
     pub latencies_s: Vec<f64>,
+    /// Per-request arrival time in seconds, id-ordered (so completion
+    /// times — and with them in-flight counts — are reconstructable).
+    pub arrivals_s: Vec<f64>,
     /// Time of the last batch completion (0 for an empty stream).
     pub makespan_s: f64,
     /// Time-weighted mean backlog depth over the makespan.
@@ -32,8 +43,15 @@ pub struct ServeOutcome {
     pub queue_depth_max: usize,
     /// Size of every dispatched batch, in dispatch order.
     pub batch_sizes: Vec<usize>,
-    /// Per-shard counters.
+    /// Per-shard-slot counters.
     pub shard_stats: Vec<ShardStats>,
+    /// The group each shard slot belongs to.
+    pub shard_groups: Vec<usize>,
+    /// Per-group aggregates (busy time, served counts, provisioned
+    /// shard-seconds, peak active shards).
+    pub group_stats: Vec<GroupStats>,
+    /// Every executed fleet-size change, in effect order.
+    pub scale_events: Vec<ScaleEvent>,
 }
 
 impl ServeOutcome {
@@ -107,7 +125,7 @@ impl ServeOutcome {
         self.batch_sizes.iter().copied().max().unwrap_or(0)
     }
 
-    /// Per-shard utilisation: busy seconds over the makespan.
+    /// Per-shard-slot utilisation: busy seconds over the makespan.
     pub fn utilisations(&self) -> Vec<f64> {
         self.shard_stats
             .iter()
@@ -115,10 +133,50 @@ impl ServeOutcome {
             .collect()
     }
 
+    /// Total provisioned shard-seconds across all groups — the scenario's
+    /// capacity cost, reported next to the latency it bought.
+    pub fn shard_seconds(&self) -> f64 {
+        self.group_stats.iter().map(|g| g.shard_seconds).sum()
+    }
+
+    /// Mean provisioned shard count over the makespan.
+    pub fn mean_active_shards(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.shard_seconds() / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The largest number of requests simultaneously in flight (arrived but
+    /// not yet completed) — the quantity a closed loop bounds by its client
+    /// count.
+    pub fn max_in_flight(&self) -> usize {
+        // +1 at each arrival, −1 at each completion; completions at the
+        // same instant as an arrival are processed first (a closed-loop
+        // client's next request can only follow its response).
+        let mut events: Vec<(f64, i64)> = Vec::with_capacity(2 * self.latencies_s.len());
+        for (&arrival, &latency) in self.arrivals_s.iter().zip(&self.latencies_s) {
+            events.push((arrival, 1));
+            events.push((arrival + latency, -1));
+        }
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("event times are finite").then(a.1.cmp(&b.1))
+        });
+        let (mut in_flight, mut peak) = (0i64, 0i64);
+        for (_, delta) in events {
+            in_flight += delta;
+            peak = peak.max(in_flight);
+        }
+        peak as usize
+    }
+
     /// The artifact records describing this outcome: one scenario summary
-    /// (tail latencies, throughput, queue depth, batching) followed by one
-    /// record per shard (utilisation, busy time, served counts). `scope`
-    /// prefixes every record ID and `params` is attached to each record.
+    /// (tail latencies, throughput, queue depth, batching, shard-seconds
+    /// cost), one record per shard group (utilisation of the provisioned
+    /// capacity, served counts, peak active shards) and one per shard slot
+    /// (utilisation, busy time, served counts). `scope` prefixes every
+    /// record ID and `params` is attached to each record.
     pub fn records(&self, scope: &str, params: &[(String, String)]) -> Vec<RunRecord> {
         let tails = self.latency_percentiles_s(&[50.0, 95.0, 99.0]);
         let mut summary = RunRecord::new(format!("{scope}/summary"))
@@ -133,9 +191,28 @@ impl ServeOutcome {
             .metric("queue_depth_max", self.queue_depth_max as f64)
             .metric("batches", self.batch_sizes.len() as f64)
             .metric("mean_batch_size", self.mean_batch_size())
-            .metric("max_batch_size", self.max_batch_size() as f64);
+            .metric("max_batch_size", self.max_batch_size() as f64)
+            .unit_metric("shard_seconds", self.shard_seconds(), "shard*s")
+            .metric("mean_active_shards", self.mean_active_shards())
+            .metric("max_in_flight", self.max_in_flight() as f64)
+            .metric("scale_events", self.scale_events.len() as f64);
         summary.params = params.to_vec();
         let mut records = vec![summary];
+        for (g, group) in self.group_stats.iter().enumerate() {
+            let utilisation =
+                if group.shard_seconds > 0.0 { group.busy_s / group.shard_seconds } else { 0.0 };
+            let mut record = RunRecord::new(format!("{scope}/group/{}", group.name))
+                .metric("utilization", utilisation)
+                .unit_metric("busy_s", group.busy_s, "s")
+                .unit_metric("shard_seconds", group.shard_seconds, "shard*s")
+                .metric("batches", group.batches as f64)
+                .metric("requests", group.requests as f64)
+                .metric("peak_active_shards", group.peak_active as f64)
+                .metric("capacity", group.capacity as f64);
+            record.params = params.to_vec();
+            record.params.push(("group".to_string(), g.to_string()));
+            records.push(record);
+        }
         for (i, (stats, utilisation)) in
             self.shard_stats.iter().zip(self.utilisations()).enumerate()
         {
@@ -146,6 +223,7 @@ impl ServeOutcome {
                 .metric("requests", stats.requests as f64);
             record.params = params.to_vec();
             record.params.push(("shard".to_string(), i.to_string()));
+            record.params.push(("group".to_string(), self.shard_groups[i].to_string()));
             records.push(record);
         }
         records
@@ -172,6 +250,25 @@ impl Backlog {
         match self {
             Backlog::Single(queue) => queue.push_back(id),
             Backlog::Classed(queues) => queues.entry(class).or_default().push_back(id),
+        }
+    }
+
+    /// Returns a unit taken by [`Self::take_ready`] to the head of its
+    /// queue, preserving order — used when the dispatch policy holds the
+    /// unit for busy preferred silicon.
+    fn push_front(&mut self, unit: &[usize], class: RequestClass) {
+        match self {
+            Backlog::Single(queue) => {
+                for &id in unit.iter().rev() {
+                    queue.push_front(id);
+                }
+            }
+            Backlog::Classed(queues) => {
+                let queue = queues.entry(class).or_default();
+                for &id in unit.iter().rev() {
+                    queue.push_front(id);
+                }
+            }
         }
     }
 
@@ -268,108 +365,369 @@ fn class_ready(
     queue.len() >= max_batch || head_arrival(queue, requests) + timeout_s <= now
 }
 
+/// Where the next request comes from: a pre-materialised open-loop stream
+/// or a closed-loop client population driven by completions.
+enum Source<'a> {
+    Open { stream: &'a [Request], cursor: usize },
+    Closed { clients: ClosedLoopClients, pending: Vec<(f64, usize)>, owners: Vec<usize> },
+}
+
+impl Source<'_> {
+    /// The next arrival time, if any request is still due.
+    fn next_time(&self) -> Option<f64> {
+        match self {
+            Source::Open { stream, cursor } => stream.get(*cursor).map(|r| r.arrival_s),
+            Source::Closed { pending, .. } => pending
+                .iter()
+                .map(|&(t, _)| t)
+                .fold(None, |best, t| Some(best.map_or(t, |b: f64| b.min(t)))),
+        }
+    }
+
+    /// Moves every request due at or before `now` into `arrived`.
+    fn pop_due(&mut self, now: f64, arrived: &mut Vec<Request>) {
+        match self {
+            Source::Open { stream, cursor } => {
+                while let Some(request) = stream.get(*cursor) {
+                    if request.arrival_s > now {
+                        break;
+                    }
+                    debug_assert_eq!(request.id, arrived.len(), "open streams arrive in id order");
+                    arrived.push(*request);
+                    *cursor += 1;
+                }
+            }
+            Source::Closed { clients, pending, owners } => {
+                // Issue due clients in (time, client) order so ids are
+                // deterministic even when issue times tie.
+                loop {
+                    let due = pending
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &(t, _))| t <= now)
+                        .min_by(|(_, a), (_, b)| {
+                            a.0.partial_cmp(&b.0)
+                                .expect("issue times are finite")
+                                .then(a.1.cmp(&b.1))
+                        })
+                        .map(|(pos, _)| pos);
+                    let Some(pos) = due else { break };
+                    let (at, client) = pending.swap_remove(pos);
+                    let class = clients.draw_class(client);
+                    arrived.push(Request { id: arrived.len(), arrival_s: at, class });
+                    owners.push(client);
+                }
+            }
+        }
+    }
+
+    /// Tells the source a request completed (closed loops schedule the
+    /// owning client's next request; open streams don't care).
+    fn on_complete(&mut self, id: usize, finish: f64) {
+        if let Source::Closed { clients, pending, owners } = self {
+            let client = owners[id];
+            if let Some(at) = clients.next_issue_at(client, finish) {
+                pending.push((at, client));
+            }
+        }
+    }
+}
+
+/// A scheduled fleet-size change waiting for its provisioning delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PendingOp {
+    effect_s: f64,
+    decision_s: f64,
+    group: usize,
+    delta: i64,
+}
+
 /// Replays one serving scenario and returns its metrics.
 ///
-/// `requests` must be sorted by arrival time (as [`StreamSpec::generate`]
-/// produces them) and every request class must be memoised in `costs`.
+/// The fleet is described by `groups` (one entry per shard group, each with
+/// its own configuration); every group's fingerprint must be registered in
+/// `costs` with every class of the workload measured under it. With
+/// `autoscale` set, each group's initial shard count must lie within the
+/// policy's `[min, max]` bounds and the fleet pre-allocates `max` slots per
+/// group.
+///
+/// # Panics
+///
+/// Panics when an open-loop stream is unsorted, a (fingerprint, class) pair
+/// is missing from the cost table, the fleet is empty, or an autoscaled
+/// group starts outside the policy bounds.
+pub fn simulate(
+    workload: &Workload,
+    policy: Policy,
+    groups: &[ShardGroup],
+    dispatch: DispatchKind,
+    autoscale: Option<&AutoscalePolicy>,
+    costs: &CostTable,
+) -> ServeOutcome {
+    match workload {
+        Workload::Open(spec) => {
+            let stream = spec.generate();
+            simulate_stream(&stream, policy, groups, dispatch, autoscale, costs)
+        }
+        Workload::Closed(spec) => {
+            let (clients, pending) = spec.clients();
+            let source = Source::Closed { clients, pending, owners: Vec::new() };
+            run(source, policy, groups, dispatch, autoscale, costs)
+        }
+    }
+}
+
+/// [`simulate`] over an explicit, pre-generated open-loop stream (as
+/// [`StreamSpec::generate`] produces it: sorted by arrival time, ids in
+/// arrival order).
 ///
 /// [`StreamSpec::generate`]: crate::arrivals::StreamSpec::generate
 ///
 /// # Panics
 ///
-/// Panics when the stream is unsorted, a request class is missing from the
-/// cost table, or `shards == 0`.
-pub fn simulate(
+/// As [`simulate`].
+pub fn simulate_stream(
     requests: &[Request],
     policy: Policy,
-    shards: usize,
+    groups: &[ShardGroup],
+    dispatch: DispatchKind,
+    autoscale: Option<&AutoscalePolicy>,
     costs: &CostTable,
 ) -> ServeOutcome {
     assert!(
         requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
         "request streams must be sorted by arrival time"
     );
-    let n = requests.len();
-    let mut fleet = ShardFleet::new(shards);
+    run(Source::Open { stream: requests, cursor: 0 }, policy, groups, dispatch, autoscale, costs)
+}
+
+/// The shared event loop behind both workload shapes.
+fn run(
+    mut source: Source<'_>,
+    policy: Policy,
+    groups: &[ShardGroup],
+    dispatch: DispatchKind,
+    autoscale: Option<&AutoscalePolicy>,
+    costs: &CostTable,
+) -> ServeOutcome {
+    let capacities: Option<Vec<usize>> = autoscale.map(|p| {
+        groups
+            .iter()
+            .map(|g| {
+                assert!(
+                    (p.min_shards..=p.max_shards).contains(&g.shards),
+                    "autoscaled group {:?} starts with {} shards, outside [{}, {}]",
+                    g.name,
+                    g.shards,
+                    p.min_shards,
+                    p.max_shards
+                );
+                p.max_shards
+            })
+            .collect()
+    });
+    let mut fleet = ShardFleet::new(groups, capacities.as_deref());
+    let dispatcher = dispatch.policy();
     let mut backlog = Backlog::new(policy);
-    let mut latencies = vec![f64::NAN; n];
+    let mut arrived: Vec<Request> = Vec::new();
+    let mut latencies: Vec<f64> = Vec::new();
     let mut batch_sizes = Vec::new();
-    let mut next_arrival = 0usize;
+    let mut scale_events: Vec<ScaleEvent> = Vec::new();
+    let mut pending_ops: Vec<PendingOp> = Vec::new();
+    let mut next_check = autoscale.map(|p| p.check_interval_s);
     let mut now = 0.0f64;
     let mut makespan = 0.0f64;
     let mut depth_integral = 0.0f64;
     let mut depth_max = 0usize;
 
     loop {
-        // Dispatch every unit that is ready while an idle shard exists.
-        while let Some(shard) = fleet.idle_shard(now) {
-            let Some(batch) = backlog.take_ready(now, policy, requests, costs) else {
+        // Dispatch every unit that is ready while an idle shard exists; the
+        // dispatch policy picks *which* idle shard serves each unit, or
+        // holds it (returning the unit to the queue head) to wait for busy
+        // preferred silicon — in which case the next release is the event
+        // that re-offers it.
+        loop {
+            let idle = fleet.idle_shards(now);
+            if idle.is_empty() {
+                break;
+            }
+            let Some(batch) = backlog.take_ready(now, policy, &arrived, costs) else {
                 break;
             };
-            let class = requests[batch[0]].class;
-            let finish = fleet.dispatch(
-                shard,
-                now,
-                costs.service_seconds(class, batch.len()),
-                batch.len() as u64,
-            );
+            let class = arrived[batch[0]].class;
+            let Some(shard) = dispatcher.choose(&fleet, &idle, class, batch.len(), now, costs)
+            else {
+                debug_assert!(
+                    fleet.next_busy_free_at(now).is_finite(),
+                    "a policy may only hold a batch while some shard is busy"
+                );
+                backlog.push_front(&batch, class);
+                break;
+            };
+            let service = costs.service_seconds(fleet.shard_fingerprint(shard), class, batch.len());
+            let finish = fleet.dispatch(shard, now, service, batch.len() as u64);
             for &id in &batch {
-                latencies[id] = finish - requests[id].arrival_s;
+                latencies[id] = finish - arrived[id].arrival_s;
+                source.on_complete(id, finish);
             }
             makespan = makespan.max(finish);
             batch_sizes.push(batch.len());
         }
 
         // The next event: an arrival, a shard freeing up (only relevant
-        // while a ready unit waits), or a batch timeout expiring. After the
-        // dispatch loop each of these lies strictly in the future, so every
-        // iteration advances time.
+        // while a ready unit waits), a batch timeout expiring, a scheduled
+        // fleet change taking effect, or an autoscaler check (only while
+        // work remains — otherwise checks could tick forever). After the
+        // dispatch loop each of these lies in the future, and every
+        // finite-time source below is consumed when due, so the loop always
+        // makes progress.
+        let work_remains =
+            source.next_time().is_some() || backlog.len() > 0 || !pending_ops.is_empty();
         let mut t_next = f64::INFINITY;
-        if next_arrival < n {
-            t_next = t_next.min(requests[next_arrival].arrival_s);
+        if let Some(t) = source.next_time() {
+            t_next = t_next.min(t);
         }
-        if backlog.has_ready(now, policy, requests) {
-            t_next = t_next.min(fleet.next_free_at());
+        if backlog.has_ready(now, policy, &arrived) {
+            // Strictly-future releases only: with a held batch, idle shards
+            // exist whose busy-until is already behind `now`.
+            t_next = t_next.min(fleet.next_busy_free_at(now));
         }
-        if let Some(deadline) = backlog.next_deadline(now, policy, requests) {
+        if let Some(deadline) = backlog.next_deadline(now, policy, &arrived) {
             t_next = t_next.min(deadline);
+        }
+        for op in &pending_ops {
+            t_next = t_next.min(op.effect_s);
+        }
+        if let (Some(check), true) = (next_check, work_remains) {
+            t_next = t_next.min(check);
         }
         if !t_next.is_finite() {
             break;
         }
+        fleet.accrue(t_next - now);
         depth_integral += backlog.len() as f64 * (t_next - now);
         now = t_next;
-        while next_arrival < n && requests[next_arrival].arrival_s <= now {
-            backlog.push(next_arrival, requests[next_arrival].class);
-            next_arrival += 1;
+
+        // 1. Arrivals due at `now` join the backlog.
+        let first_new = arrived.len();
+        source.pop_due(now, &mut arrived);
+        for request in &arrived[first_new..] {
+            backlog.push(request.id, request.class);
+            latencies.push(f64::NAN);
         }
         depth_max = depth_max.max(backlog.len());
+
+        // 2. Provisioning effects due at `now` apply, in (effect, decision,
+        //    group, delta) order. A scale-down whose chosen group has no
+        //    idle shard any more is cancelled — capacity never vanishes
+        //    mid-batch.
+        while let Some(pos) = pending_ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.effect_s <= now)
+            .min_by(|(_, a), (_, b)| {
+                a.effect_s
+                    .partial_cmp(&b.effect_s)
+                    .expect("effect times are finite")
+                    .then(a.decision_s.partial_cmp(&b.decision_s).expect("finite"))
+                    .then(a.group.cmp(&b.group))
+                    .then(a.delta.cmp(&b.delta))
+            })
+            .map(|(pos, _)| pos)
+        {
+            let op = pending_ops.remove(pos);
+            let applied = if op.delta > 0 {
+                fleet.activate(op.group, now).is_some()
+            } else {
+                // Re-check the per-group floor at effect time: the group's
+                // population may have changed since the decision, and the
+                // fleet-level `deactivate_idle` knows nothing about bounds.
+                let above_floor =
+                    autoscale.is_some_and(|p| fleet.active_in_group(op.group) > p.min_shards);
+                above_floor && fleet.deactivate_idle(op.group, now).is_some()
+            };
+            if applied {
+                scale_events.push(ScaleEvent {
+                    decision_s: op.decision_s,
+                    effect_s: now,
+                    group: op.group,
+                    delta: op.delta,
+                    active_total: fleet.active_shards(),
+                });
+            }
+        }
+
+        // 3. The autoscaler's periodic decision.
+        if let (Some(policy_as), Some(check)) = (autoscale, next_check) {
+            if check <= now {
+                let mut pending = vec![0i64; fleet.group_count()];
+                for op in &pending_ops {
+                    pending[op.group] += op.delta;
+                }
+                match policy_as.decide(&fleet, backlog.len(), now, &pending) {
+                    Decision::Hold => {}
+                    Decision::Up { group } => pending_ops.push(PendingOp {
+                        effect_s: now + policy_as.provision_delay_s,
+                        decision_s: now,
+                        group,
+                        delta: 1,
+                    }),
+                    Decision::Down { group } => pending_ops.push(PendingOp {
+                        effect_s: now + policy_as.provision_delay_s,
+                        decision_s: now,
+                        group,
+                        delta: -1,
+                    }),
+                }
+                next_check = Some(check + policy_as.check_interval_s);
+            }
+        }
+    }
+
+    // Provisioned capacity is paid for until the last batch completes.
+    if makespan > now {
+        fleet.accrue(makespan - now);
     }
 
     debug_assert!(latencies.iter().all(|l| l.is_finite()), "every request is served");
     ServeOutcome {
         latencies_s: latencies,
+        arrivals_s: arrived.iter().map(|r| r.arrival_s).collect(),
         makespan_s: makespan,
         queue_depth_mean: if makespan > 0.0 { depth_integral / makespan } else { 0.0 },
         queue_depth_max: depth_max,
         batch_sizes,
         shard_stats: fleet.stats().to_vec(),
+        shard_groups: fleet.shard_groups().to_vec(),
+        group_stats: fleet.group_stats(),
+        scale_events,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arrivals::{ArrivalProcess, ClosedLoopSpec, StreamSpec};
     use crate::cost::ClassCost;
+    use neura_chip::config::ChipConfig;
 
-    /// One class, one second of service per request, 1 ns per "cycle".
+    /// A homogeneous Tile-16 fleet of `n` shards.
+    fn tile16_fleet(n: usize) -> Vec<ShardGroup> {
+        vec![ShardGroup::new("t16", ChipConfig::tile_16(), n)]
+    }
+
+    /// Two classes on Tile-16 silicon: 1 s and 0.5 s of service per request
+    /// (Tile-16 runs at 1 GHz, so cycles map 1:1 to nanoseconds).
     fn unit_costs() -> CostTable {
-        let mut costs = CostTable::new(1e-9).with_marginal_fraction(0.5);
+        let mut costs = CostTable::new().with_marginal_fraction(0.5);
+        let fp = costs.register(&ChipConfig::tile_16());
         costs.insert(
+            &fp,
             RequestClass { dataset: 0, shrink: 1 },
             ClassCost { cycles: 1_000_000_000, flops: 10 },
         );
         costs.insert(
+            &fp,
             RequestClass { dataset: 1, shrink: 1 },
             ClassCost { cycles: 500_000_000, flops: 5 },
         );
@@ -380,10 +738,21 @@ mod tests {
         Request { id, arrival_s, class: RequestClass { dataset, shrink: 1 } }
     }
 
+    fn sim(stream: &[Request], policy: Policy, shards: usize, costs: &CostTable) -> ServeOutcome {
+        simulate_stream(
+            stream,
+            policy,
+            &tile16_fleet(shards),
+            DispatchKind::LeastLoaded,
+            None,
+            costs,
+        )
+    }
+
     #[test]
     fn fifo_on_one_shard_serialises_requests() {
         let stream = [request(0, 0.0, 0), request(1, 0.1, 0)];
-        let outcome = simulate(&stream, Policy::Fifo, 1, &unit_costs());
+        let outcome = sim(&stream, Policy::Fifo, 1, &unit_costs());
         // Request 0: served 0.0–1.0 (latency 1.0); request 1 waits for the
         // shard, served 1.0–2.0 (latency 1.9).
         assert!((outcome.latencies_s[0] - 1.0).abs() < 1e-12);
@@ -392,15 +761,18 @@ mod tests {
         assert_eq!(outcome.batch_sizes, vec![1, 1]);
         assert_eq!(outcome.shard_stats[0].requests, 2);
         assert!((outcome.utilisations()[0] - 1.0).abs() < 1e-12);
+        assert!((outcome.shard_seconds() - 2.0).abs() < 1e-12, "1 shard x 2 s makespan");
+        assert_eq!(outcome.arrivals_s, vec![0.0, 0.1]);
     }
 
     #[test]
     fn a_second_shard_absorbs_the_queueing_delay() {
         let stream = [request(0, 0.0, 0), request(1, 0.1, 0)];
-        let outcome = simulate(&stream, Policy::Fifo, 2, &unit_costs());
+        let outcome = sim(&stream, Policy::Fifo, 2, &unit_costs());
         assert!((outcome.latencies_s[0] - 1.0).abs() < 1e-12);
         assert!((outcome.latencies_s[1] - 1.0).abs() < 1e-12, "no wait on the idle shard");
         assert!((outcome.makespan_s - 1.1).abs() < 1e-12);
+        assert!((outcome.shard_seconds() - 2.2).abs() < 1e-12, "2 shards x 1.1 s makespan");
     }
 
     #[test]
@@ -408,7 +780,7 @@ mod tests {
         // Both queued behind the in-flight request; the cheap dataset-1
         // request (0.5 s) jumps ahead of the earlier dataset-0 one.
         let stream = [request(0, 0.0, 0), request(1, 0.01, 0), request(2, 0.02, 1)];
-        let outcome = simulate(&stream, Policy::Sjf, 1, &unit_costs());
+        let outcome = sim(&stream, Policy::Sjf, 1, &unit_costs());
         assert!((outcome.latencies_s[2] - (1.5 - 0.02)).abs() < 1e-12, "short job served first");
         assert!((outcome.latencies_s[1] - (2.5 - 0.01)).abs() < 1e-12, "long job served last");
     }
@@ -416,7 +788,7 @@ mod tests {
     #[test]
     fn batching_groups_same_class_requests_and_amortises_cost() {
         let stream = [request(0, 0.0, 0), request(1, 0.001, 0)];
-        let outcome = simulate(&stream, Policy::batch(2, 1.0), 1, &unit_costs());
+        let outcome = sim(&stream, Policy::batch(2, 1.0), 1, &unit_costs());
         // Both arrive before the batch fills at max_batch = 2; the batch of
         // two costs 1.0 * (1 + 0.5) = 1.5 s and dispatches at t = 0.001.
         assert_eq!(outcome.batch_sizes, vec![2]);
@@ -427,7 +799,7 @@ mod tests {
     #[test]
     fn partial_batches_flush_at_the_timeout() {
         let stream = [request(0, 0.0, 0)];
-        let outcome = simulate(&stream, Policy::batch(8, 0.25), 1, &unit_costs());
+        let outcome = sim(&stream, Policy::batch(8, 0.25), 1, &unit_costs());
         // The lone request waits out the 0.25 s timeout before dispatching.
         assert_eq!(outcome.batch_sizes, vec![1]);
         assert!((outcome.latencies_s[0] - 1.25).abs() < 1e-12);
@@ -437,46 +809,192 @@ mod tests {
     fn queue_depth_tracks_the_backlog() {
         let stream =
             [request(0, 0.0, 0), request(1, 0.1, 0), request(2, 0.1, 0), request(3, 0.1, 0)];
-        let outcome = simulate(&stream, Policy::Fifo, 1, &unit_costs());
+        let outcome = sim(&stream, Policy::Fifo, 1, &unit_costs());
         assert_eq!(outcome.queue_depth_max, 3, "three requests queue behind the first");
         assert!(outcome.queue_depth_mean > 0.0);
+        assert_eq!(outcome.max_in_flight(), 4, "all four overlap while the first is served");
     }
 
     #[test]
     fn empty_streams_produce_zeroed_metrics() {
-        let outcome = simulate(&[], Policy::Fifo, 2, &unit_costs());
+        let outcome = sim(&[], Policy::Fifo, 2, &unit_costs());
         assert_eq!(outcome.requests(), 0);
         assert_eq!(outcome.throughput_rps(), 0.0);
         assert_eq!(outcome.latency_percentile_s(99.0), 0.0);
         assert_eq!(outcome.mean_batch_size(), 0.0);
+        assert_eq!(outcome.shard_seconds(), 0.0);
+        assert_eq!(outcome.max_in_flight(), 0);
     }
 
     #[test]
-    fn records_carry_tail_latency_throughput_and_shard_utilisation() {
+    fn heterogeneous_fleets_charge_each_group_its_own_silicon() {
+        // One Tile-64 shard serving the big class 4x faster than the
+        // Tile-4 shard; cost-aware dispatch sends the lone request there.
+        let groups = vec![
+            ShardGroup::new("t64", ChipConfig::tile_64(), 1),
+            ShardGroup::new("t4", ChipConfig::tile_4(), 1),
+        ];
+        let mut costs = CostTable::new();
+        let t64 = costs.register(&ChipConfig::tile_64());
+        let t4 = costs.register(&ChipConfig::tile_4());
+        let class = RequestClass { dataset: 0, shrink: 1 };
+        costs.insert(&t64, class, ClassCost { cycles: 250_000_000, flops: 10 });
+        costs.insert(&t4, class, ClassCost { cycles: 1_000_000_000, flops: 10 });
+        let stream = [request(0, 0.0, 0)];
+        let outcome =
+            simulate_stream(&stream, Policy::Fifo, &groups, DispatchKind::CostAware, None, &costs);
+        assert!((outcome.latencies_s[0] - 0.25).abs() < 1e-12, "served on the Tile-64");
+        assert_eq!(outcome.group_stats[0].requests, 1);
+        assert_eq!(outcome.group_stats[1].requests, 0);
+        assert_eq!(outcome.shard_groups, vec![0, 1]);
+        // Both shards were provisioned for the whole 0.25 s makespan.
+        assert!((outcome.shard_seconds() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_loops_never_exceed_their_client_count() {
+        let workload = Workload::Closed(ClosedLoopSpec {
+            clients: 3,
+            think_s: 0.05,
+            duration_s: 10.0,
+            mix_size: 2,
+            shrinks: vec![1],
+            seed: 17,
+        });
+        let outcome = simulate(
+            &workload,
+            Policy::Fifo,
+            &tile16_fleet(1),
+            DispatchKind::LeastLoaded,
+            None,
+            &unit_costs(),
+        );
+        assert!(outcome.requests() > 3, "clients re-issue after completions");
+        assert!(outcome.max_in_flight() <= 3);
+        // One saturated shard: ~1 request per second of makespan.
+        assert!(outcome.throughput_rps() <= 2.0 / 1.0 + 1e-9);
+        // Deterministic replay.
+        let again = simulate(
+            &workload,
+            Policy::Fifo,
+            &tile16_fleet(1),
+            DispatchKind::LeastLoaded,
+            None,
+            &unit_costs(),
+        );
+        assert_eq!(outcome, again);
+    }
+
+    #[test]
+    fn closed_loop_backs_off_where_open_loop_queues() {
+        // Same mean demand; the open loop keeps arriving at 2 rps against a
+        // 1 rps shard and builds an unbounded queue, the closed loop's lone
+        // client can never have more than one request outstanding.
+        let open = Workload::Open(StreamSpec {
+            arrival: ArrivalProcess::Poisson,
+            rps: 2.0,
+            duration_s: 10.0,
+            mix_size: 1,
+            shrinks: vec![1],
+            seed: 5,
+        });
+        let closed = Workload::Closed(ClosedLoopSpec {
+            clients: 1,
+            think_s: 0.0,
+            duration_s: 10.0,
+            mix_size: 1,
+            shrinks: vec![1],
+            seed: 5,
+        });
+        let costs = unit_costs();
+        let fleet = tile16_fleet(1);
+        let open_out =
+            simulate(&open, Policy::Fifo, &fleet, DispatchKind::LeastLoaded, None, &costs);
+        let closed_out =
+            simulate(&closed, Policy::Fifo, &fleet, DispatchKind::LeastLoaded, None, &costs);
+        assert!(open_out.max_in_flight() > 1);
+        assert_eq!(closed_out.max_in_flight(), 1);
+        assert!(
+            closed_out.latency_percentile_s(99.0) < open_out.latency_percentile_s(99.0),
+            "closed-loop tails exclude the queueing blow-up"
+        );
+    }
+
+    #[test]
+    fn autoscaler_grows_under_backlog_and_respects_the_delay() {
+        // 20 requests land at t=0 on one 1 s/request shard; the controller
+        // (check every 0.5 s, 1 s provisioning delay) grows the fleet.
+        let stream: Vec<Request> = (0..20).map(|i| request(i, 0.0, 0)).collect();
+        let policy = AutoscalePolicy::new(1, 4)
+            .with_check_interval_s(0.5)
+            .with_provision_delay_s(1.0)
+            .with_up_backlog_per_shard(2.0);
+        let costs = unit_costs();
+        let outcome = simulate_stream(
+            &stream,
+            Policy::Fifo,
+            &tile16_fleet(1),
+            DispatchKind::LeastLoaded,
+            Some(&policy),
+            &costs,
+        );
+        assert!(!outcome.scale_events.is_empty(), "the backlog must trigger scale-ups");
+        for event in &outcome.scale_events {
+            assert!(
+                event.effect_s - event.decision_s >= 1.0 - 1e-12,
+                "effects wait out the provisioning delay"
+            );
+            assert!(event.active_total >= 1 && event.active_total <= 4);
+        }
+        assert_eq!(outcome.group_stats[0].peak_active, 4, "sustained backlog reaches max");
+        let fixed = sim(&stream, Policy::Fifo, 1, &costs);
+        assert!(
+            outcome.latency_percentile_s(99.0) < fixed.latency_percentile_s(99.0),
+            "bought capacity must buy latency"
+        );
+        // Makespan shrank, so the autoscaled run can still cost less in
+        // shard-seconds than the slow fixed run; what matters is that the
+        // cost metric reflects the provisioned capacity, not the spec size.
+        assert!(outcome.shard_seconds() > outcome.makespan_s, "more than one shard on average");
+        assert!((fixed.shard_seconds() - fixed.makespan_s).abs() < 1e-9, "fixed fleet: 1 shard");
+    }
+
+    #[test]
+    fn records_carry_tails_groups_shards_and_cost() {
         let stream = [request(0, 0.0, 0), request(1, 0.1, 1)];
-        let outcome = simulate(&stream, Policy::Fifo, 2, &unit_costs());
+        let outcome = sim(&stream, Policy::Fifo, 2, &unit_costs());
         let params = vec![("policy".to_string(), "fifo".to_string())];
         let records = outcome.records("serve/demo", &params);
-        assert_eq!(records.len(), 3, "one summary + one record per shard");
+        assert_eq!(records.len(), 4, "one summary + one group + one record per shard");
         let summary = &records[0];
         assert_eq!(summary.id, "serve/demo/summary");
         assert!(summary.metric_value("p99_latency_ms").unwrap() > 0.0);
         assert!(summary.metric_value("throughput_rps").unwrap() > 0.0);
+        assert!(summary.metric_value("shard_seconds").unwrap() > 0.0);
+        assert!(summary.metric_value("max_in_flight").is_some());
         assert_eq!(summary.params, params);
-        assert_eq!(records[1].id, "serve/demo/shard0");
+        assert_eq!(records[1].id, "serve/demo/group/t16");
         assert!(records[1].metric_value("utilization").is_some());
-        assert!(records[2].params.contains(&("shard".to_string(), "1".to_string())));
+        assert!(records[1].metric_value("shard_seconds").is_some());
+        assert!(records[1].metric_value("peak_active_shards").is_some());
+        assert_eq!(records[2].id, "serve/demo/shard0");
+        assert!(records[3].params.contains(&("shard".to_string(), "1".to_string())));
+        assert!(records[3].params.contains(&("group".to_string(), "0".to_string())));
     }
 
     #[test]
     fn percentiles_are_nearest_rank() {
         let outcome = ServeOutcome {
             latencies_s: vec![4.0, 1.0, 3.0, 2.0],
+            arrivals_s: vec![0.0; 4],
             makespan_s: 4.0,
             queue_depth_mean: 0.0,
             queue_depth_max: 0,
             batch_sizes: vec![1; 4],
             shard_stats: vec![ShardStats::default()],
+            shard_groups: vec![0],
+            group_stats: Vec::new(),
+            scale_events: Vec::new(),
         };
         assert_eq!(outcome.latency_percentile_s(50.0), 2.0);
         assert_eq!(outcome.latency_percentile_s(75.0), 3.0);

@@ -57,8 +57,10 @@ tune-paper:
     cargo run --release -q -p neura_bench --bin tune -- --json
     ls -l target/artifacts/tune.json
 
-# Request-stream serving simulation at smoke scale (arrival x policy x
-# shard sweep); artifact collected at target/artifacts/serve.json.
+# Request-stream serving simulation at smoke scale. The default run
+# covers the classic shard-scaling sweep plus one heterogeneous
+# (Tile-64 + Tile-4, all three dispatch policies), one closed-loop and
+# one autoscaled scenario; artifact at target/artifacts/serve.json.
 serve:
     NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin serve -- --json
     ls -l target/artifacts/serve.json
