@@ -29,26 +29,44 @@
 //!   wiki-Vote, facebook)
 //! - `--max-batch N` / `--batch-timeout-ms X` — knobs of the `batch` policy
 //!   (the timeout defaults to 20x the mean service time)
+//! - `--scenario NAME` — run a named library scenario arm (repeatable;
+//!   `all` = the whole library; without the flag the whole library rides
+//!   along with the default arms)
+//! - `--queue-bound N` — bound every plain arm's backlog; arrivals beyond
+//!   it are shed and accounted
+//! - `--tenant SPEC` — a `name:weight[:limit_rps[:slo_ms]]` tenant
+//!   (repeatable; wraps the plain open arms in a multi-tenant mix with
+//!   token-bucket rate limits and per-tenant SLO attainment)
+//! - `--fault SPEC` — a fault regime like `crash2+pf0.5+deg0x3.0` injected
+//!   into the plain arms (seed-derived crash times, provisioning failure
+//!   probability, degraded-group service multipliers)
 //!
 //! Without fleet/dispatch/clients/autoscale flags, three comparison arms
 //! ride along with the classic shard-scaling sweep: a heterogeneous
 //! Tile-64+Tile-4 fleet against a homogeneous equal-shard Tile-16 fleet
 //! under all three dispatch policies, a closed-loop arm directly
 //! comparable to its open-loop twin, and an autoscaled arm reporting
-//! shard-seconds cost against the p99 it buys. Cycle costs are memoised
-//! once per (chip fingerprint, request class) — groups sharing silicon
-//! share the memo — and every serving arm of a workload replays the
-//! identical demand.
+//! shard-seconds cost against the p99 it buys — plus every scenario of
+//! [`ScenarioSpec::library`] as a named `scn-*` arm on a two-shard Tile-16
+//! fleet, its rate calibrated to `load x fleet capacity` (diurnal and
+//! flash-crowd waves, a 3x overload against a bounded queue, a
+//! rate-limited tenant mix, shard crashes recovering through the
+//! autoscaler, and degraded silicon under flaky provisioning). Cycle
+//! costs are memoised once per (chip fingerprint, request class) — groups
+//! sharing silicon share the memo — and every serving arm of a workload
+//! replays the identical demand.
 
 use neura_baselines::workload::WorkloadProfile;
 use neura_bench::{fmt, print_table, sim_matrix_at_fidelity};
 use neura_chip::accelerator::Accelerator;
 use neura_chip::config::{ChipConfig, TileSize};
+use neura_lab::spec::derive_seed;
 use neura_lab::{ArtifactSession, RunRecord, Runner};
 use neura_serve::policy::{DEFAULT_BATCH_TIMEOUT_S, DEFAULT_MAX_BATCH};
 use neura_serve::{
-    simulate, ArrivalProcess, AutoscalePolicy, ClassCost, CostTable, DispatchKind, FleetMix,
-    Policy, RequestClass, ServeScenario, ServeSweep,
+    simulate_config, ArrivalProcess, AutoscalePolicy, ClassCost, CostTable, DispatchKind,
+    FaultSpec, FleetMix, Policy, RequestClass, ScenarioSpec, ServeConfig, ServeScenario,
+    ServeSweep, ShapedStream, TenantMix, TenantSpec, Workload,
 };
 use neura_sparse::DatasetCatalog;
 
@@ -63,10 +81,12 @@ const STREAM_SEED: u64 = 0x5EED_CAFE;
 const DEFAULT_CLIENTS: usize = 64;
 
 fn usage() -> String {
-    "usage: serve [--json [PATH]] [--arrival A]... [--rps X]... [--policy P]... [--shards N]...\n\
+    let mut text =
+        "usage: serve [--json [PATH]] [--arrival A]... [--rps X]... [--policy P]... [--shards N]...\n\
      \x20            [--fleet SPEC]... [--dispatch D]... [--clients N]... [--think-ms X]\n\
      \x20            [--autoscale MIN:MAX] [--provision-ms X] [--check-ms X]\n\
      \x20            [--duration S] [--dataset NAME]... [--max-batch N] [--batch-timeout-ms X]\n\
+     \x20            [--scenario NAME]... [--queue-bound N] [--tenant SPEC]... [--fault SPEC]\n\
      \n\
      --json [PATH]         write a machine-readable artifact (default: target/artifacts/serve.json)\n\
      --arrival A           poisson | bursty (repeatable; default: poisson)\n\
@@ -87,8 +107,19 @@ fn usage() -> String {
      --dataset NAME        serving-mix dataset (repeatable; default: cora, wiki-Vote, facebook)\n\
      --max-batch N         batch policy: largest batch size (default: 8)\n\
      --batch-timeout-ms X  batch policy: partial-batch flush timeout (default: 20x the\n\
-     \x20                    mean service time)"
-        .to_string()
+     \x20                    mean service time)\n\
+     --scenario NAME       named library scenario arm (repeatable; \"all\" = the whole library;\n\
+     \x20                    default: the library rides along with the default arms)\n\
+     --queue-bound N       bound every plain arm's backlog; arrivals beyond it are shed\n\
+     --tenant SPEC         tenant as name:weight[:limit_rps[:slo_ms]] (repeatable; wraps the\n\
+     \x20                    plain open arms in a multi-tenant mix; 0 = no limit / no SLO)\n\
+     --fault SPEC          fault regime for the plain arms, e.g. crash2+pf0.5+deg0x3.0\n\
+     scenario library:"
+        .to_string();
+    for sc in ScenarioSpec::library() {
+        text.push_str(&format!("\n       {:<10}{}", sc.name, sc.summary));
+    }
+    text
 }
 
 struct Args {
@@ -108,6 +139,10 @@ struct Args {
     max_batch: usize,
     batch_timeout_s: f64,
     batch_timeout_given: bool,
+    scenarios: Vec<String>,
+    queue_bound: Option<usize>,
+    tenants: Vec<TenantSpec>,
+    fault: Option<String>,
     passthrough: Vec<String>,
 }
 
@@ -129,6 +164,10 @@ fn parse_args() -> Args {
         max_batch: DEFAULT_MAX_BATCH,
         batch_timeout_s: DEFAULT_BATCH_TIMEOUT_S,
         batch_timeout_given: false,
+        scenarios: Vec::new(),
+        queue_bound: None,
+        tenants: Vec::new(),
+        fault: None,
         passthrough: Vec::new(),
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -250,6 +289,47 @@ fn parse_args() -> Args {
                 };
                 parsed.batch_timeout_given = true;
             }
+            "--scenario" => {
+                let raw = value("--scenario");
+                if raw.eq_ignore_ascii_case("all") {
+                    parsed.scenarios.extend(ScenarioSpec::names().iter().map(|n| n.to_string()));
+                } else if let Some(spec) = ScenarioSpec::by_name(&raw) {
+                    parsed.scenarios.push(spec.name.to_string());
+                } else {
+                    bad_usage(&format!(
+                        "unknown scenario {raw:?}; the library has: {}",
+                        ScenarioSpec::names().join(", ")
+                    ));
+                }
+            }
+            "--queue-bound" => {
+                let raw = value("--queue-bound");
+                parsed.queue_bound = Some(match raw.parse::<usize>() {
+                    Ok(n) => n,
+                    _ => bad_usage(&format!("--queue-bound {raw:?} is not an integer")),
+                });
+            }
+            "--tenant" => {
+                let raw = value("--tenant");
+                let tenant = TenantMix::parse_tenant(&raw).unwrap_or_else(|| {
+                    bad_usage(&format!("--tenant {raw:?} is not name:weight[:limit_rps[:slo_ms]]"))
+                });
+                if parsed.tenants.iter().any(|t| t.name == tenant.name) {
+                    bad_usage(&format!("duplicate tenant name {:?}", tenant.name));
+                }
+                parsed.tenants.push(tenant);
+            }
+            "--fault" => {
+                let raw = value("--fault");
+                // Validate the fragment now; the real spec is rebuilt per
+                // arm with a seed derived from the arm's workload seed.
+                if FaultSpec::parse(&raw, 0, 1.0).is_none() {
+                    bad_usage(&format!(
+                        "--fault {raw:?} is not a crashN/pfX/degGxM regime like crash2+pf0.5"
+                    ));
+                }
+                parsed.fault = Some(raw);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -298,6 +378,40 @@ fn main() {
         }
     }
 
+    // A CLI fault regime that degrades a group no fleet has is a usage
+    // error, not a mid-simulation panic.
+    if let Some(raw) = &args.fault {
+        let spec = FaultSpec::parse(raw, 0, 1.0).expect("validated at parse time");
+        for mix in &args.fleets {
+            for &(group, _) in &spec.degraded {
+                if group >= mix.groups.len() {
+                    bad_usage(&format!(
+                        "--fault {raw:?} degrades group {group}, but fleet {:?} only has {} \
+                         group(s)",
+                        mix.id,
+                        mix.groups.len()
+                    ));
+                }
+            }
+        }
+    }
+    // Library scenarios: the explicit --scenario list wins; otherwise the
+    // whole library rides along with the default comparison arms.
+    let mut scenario_specs: Vec<ScenarioSpec> = if args.scenarios.is_empty() {
+        if default_arms {
+            ScenarioSpec::library()
+        } else {
+            Vec::new()
+        }
+    } else {
+        args.scenarios
+            .iter()
+            .map(|name| ScenarioSpec::by_name(name).expect("validated at parse time"))
+            .collect()
+    };
+    let mut seen = std::collections::HashSet::new();
+    scenario_specs.retain(|s| seen.insert(s.name));
+
     let mut session =
         ArtifactSession::from_arg_list("serve", neura_bench::scale_multiplier(), args.passthrough);
     let runner = Runner::from_env();
@@ -309,6 +423,10 @@ fn main() {
         args.fleets.iter().flat_map(|mix| mix.groups.iter().map(|g| g.config.tile_size)).collect();
     if default_arms {
         tiles.extend([TileSize::Tile4, TileSize::Tile16, TileSize::Tile64]);
+    }
+    if !scenario_specs.is_empty() {
+        // Scenario arms always run on a two-shard Tile-16 fleet.
+        tiles.push(TileSize::Tile16);
     }
     tiles.sort_by_key(|t| t.label());
     tiles.dedup();
@@ -464,19 +582,64 @@ fn main() {
         }
     }
 
+    // Library scenario arms: each replays on a two-shard Tile-16 fleet at
+    // a rate calibrated to `load x fleet capacity` — so "overload" means
+    // 3x capacity at every scale multiplier — with elastic scenarios
+    // under a 1..4-shard autoscaler whose provisioning path doubles as
+    // the crash-recovery path.
+    let scn_fleet = FleetMix::uniform(TileSize::Tile16, 2);
+    let scn_service_s = {
+        let fp = scn_fleet.groups[0].config.fingerprint();
+        classes.iter().map(|&c| costs.service_seconds(&fp, c, 1)).sum::<f64>()
+            / classes.len() as f64
+    };
+    for sc in &scenario_specs {
+        let rps = (sc.load * scn_fleet.total_shards() as f64 / scn_service_s).max(1.0).round();
+        let mut arm = base
+            .clone()
+            .arrivals([ArrivalProcess::Poisson])
+            .rps([rps])
+            .policies([Policy::Fifo])
+            .fleets([scn_fleet.clone()])
+            .dispatches([DispatchKind::LeastLoaded]);
+        if sc.elastic {
+            arm = arm.autoscale([Some(controller(1, 4))]);
+        }
+        let offset = scenarios.len();
+        for mut scenario in arm.scenarios(&format!("serve/scn-{}", sc.name), STREAM_SEED) {
+            scenario.index += offset;
+            scenario.scenario = Some(sc.clone());
+            scenarios.push(scenario);
+        }
+    }
+
     // Replay every scenario on the runner; results collect in sweep order,
     // so the artifact is byte-identical for any NEURA_LAB_THREADS.
     let mix_len = args.mix.len();
+    let cli_tenants = (!args.tenants.is_empty()).then(|| TenantMix::new(args.tenants.clone()));
     let outcomes = runner.run(&scenarios, |_, scenario: &ServeScenario| {
-        let workload = scenario.workload_spec(duration_s, mix_len, &REQUEST_SHRINKS);
-        simulate(
-            &workload,
-            scenario.policy,
-            &scenario.fleet.groups,
-            scenario.dispatch,
-            scenario.autoscale.as_ref(),
-            &costs,
-        )
+        let mut workload = scenario.workload_spec(duration_s, mix_len, &REQUEST_SHRINKS);
+        // CLI tenants wrap the plain open arms (library arms carry their
+        // own mix; closed loops have no admission gate to rate-limit).
+        if scenario.scenario.is_none() {
+            if let (Some(mix), Workload::Open(spec)) = (&cli_tenants, &workload) {
+                workload = Workload::Shaped(ShapedStream::tenants_only(spec.clone(), mix.clone()));
+            }
+        }
+        let fault = match &scenario.scenario {
+            Some(sc) => sc.fault_spec(scenario.seed, duration_s),
+            None => args.fault.as_ref().map(|raw| {
+                FaultSpec::parse(raw, derive_seed(scenario.seed, "cli-fault"), duration_s)
+                    .expect("validated at parse time")
+            }),
+        };
+        let mut cfg =
+            ServeConfig::new(scenario.policy, &scenario.fleet.groups, scenario.dispatch, &costs);
+        cfg.autoscale = scenario.autoscale.as_ref();
+        cfg.queue_bound =
+            scenario.scenario.as_ref().and_then(|sc| sc.queue_bound).or(args.queue_bound);
+        cfg.faults = fault.as_ref();
+        simulate_config(&workload, &cfg)
     });
 
     let mut rows = Vec::new();
@@ -488,6 +651,7 @@ fn main() {
         rows.push(vec![
             scenario.id.strip_prefix("serve/").unwrap_or(&scenario.id).to_string(),
             outcome.requests().to_string(),
+            fmt(outcome.shed_rate(), 3),
             fmt(tails[0] * 1e3, 3),
             fmt(tails[1] * 1e3, 3),
             fmt(tails[2] * 1e3, 3),
@@ -507,6 +671,7 @@ fn main() {
         &[
             "Scenario",
             "Requests",
+            "Shed",
             "p50 (ms)",
             "p95 (ms)",
             "p99 (ms)",
@@ -521,7 +686,10 @@ fn main() {
         "\nEach scenario replays a deterministic {}-dataset workload on a fleet of\n\
          simulated chips: shard groups may mix tile sizes (class-aware dispatch\n\
          decides placement), closed-loop arms regenerate demand from completions,\n\
-         and the autoscaled arm grows/shrinks capacity against its backlog. Every\n\
+         and the autoscaled arm grows/shrinks capacity against its backlog. The\n\
+         scn-* arms replay the production scenario library — rate waves, overload\n\
+         against a bounded queue (Shed = shed rate), tenant rate limits, seeded\n\
+         shard crashes and degraded silicon — all equally deterministic. Every\n\
          batch is charged a cycle cost memoised per (chip fingerprint x dataset x\n\
          request size) class ({} cycle-level simulations total). Serving arms of\n\
          the same workload share their seed, so they are directly comparable.",

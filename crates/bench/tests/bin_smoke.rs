@@ -209,6 +209,93 @@ fn check_serve_artifact(artifact: &Artifact) -> Result<(), String> {
     for metric in ["p99_latency_ms", "shard_seconds", "scale_events"] {
         summary_metric(artifact, "serve/poisson/rps", scaled_suffix, metric)?;
     }
+
+    check_scenario_arms(artifact)
+}
+
+/// Scenario-library checks: every named `scn-*` arm rides along with the
+/// default sweep and reports sane shed/crash/recovery numbers — the
+/// overload arm sheds hard against its bound while the fault-free plain
+/// arms shed nothing, the rate-limited free tier is squeezed to its
+/// token bucket, the crash arm recovers no faster than the provisioning
+/// delay, and the degraded arm pays a visibly worse tail.
+fn check_scenario_arms(artifact: &Artifact) -> Result<(), String> {
+    for name in neura_serve::ScenarioSpec::names() {
+        let prefix = format!("serve/scn-{name}/");
+        let summary = summary_record(artifact, &prefix, "/summary")?;
+        for metric in ["offered", "shed", "shed_rate", "crashes", "recoveries"] {
+            if summary.metric_value(metric).is_none() {
+                return Err(format!("scenario summary {:?} lacks {metric}", summary.id));
+            }
+        }
+        let offered = summary.metric_value("offered").unwrap();
+        let served = summary.metric_value("requests").unwrap_or(0.0);
+        let shed = summary.metric_value("shed").unwrap();
+        let shed_rate = summary.metric_value("shed_rate").unwrap();
+        if !(0.0..=1.0).contains(&shed_rate) {
+            return Err(format!("scn-{name} shed rate {shed_rate} outside [0, 1]"));
+        }
+        if served + shed != offered {
+            return Err(format!(
+                "scn-{name} loses requests: {served} served + {shed} shed != {offered} offered"
+            ));
+        }
+    }
+
+    // The overload arm sheds against its bound; the plain shard-scaling
+    // arms (no bound, no faults) shed nothing.
+    let overload = summary_record(artifact, "serve/scn-overload/", "/summary")?;
+    if overload.metric_value("shed_rate").unwrap_or(0.0) <= 0.1 {
+        return Err("the 3x overload arm barely shed".to_string());
+    }
+    let bound = 64.0;
+    if overload.metric_value("queue_depth_max").unwrap_or(f64::INFINITY) > bound {
+        return Err("the overload arm's backlog escaped its bound".to_string());
+    }
+    let plain = summary_record(artifact, "serve/poisson/rps", "/t16x4/least-loaded/fifo/summary")?;
+    if plain.metric_value("shed").unwrap_or(f64::NAN) != 0.0 {
+        return Err("an unbounded plain arm shed requests".to_string());
+    }
+
+    // The rate-limited free tier admits a trickle; gold reports its SLO.
+    let free = summary_record(artifact, "serve/scn-tenants/", "/tenant/free")?;
+    if free.metric_value("shed_rate").unwrap_or(0.0) <= 0.5 {
+        return Err("the 1 rps free tier admitted more than its token bucket".to_string());
+    }
+    let gold = summary_record(artifact, "serve/scn-tenants/", "/tenant/gold")?;
+    if gold.metric_value("slo_attainment").is_none() {
+        return Err("the gold tenant lacks an slo_attainment metric".to_string());
+    }
+
+    // Crashes land, re-dispatch and recover no faster than provisioning.
+    let crash = summary_record(artifact, "serve/scn-crash/", "/summary")?;
+    if crash.metric_value("crashes").unwrap_or(0.0) < 1.0 {
+        return Err("the crash arm injected no crashes".to_string());
+    }
+    if crash.metric_value("recoveries").unwrap_or(0.0) >= 1.0 {
+        let recovery_ms = crash.metric_value("recovery_time_ms").unwrap_or(0.0);
+        let delay_ms: f64 = crash
+            .params
+            .iter()
+            .find(|(k, _)| k == "provision_delay_ms")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or("the crash arm lacks a provision_delay_ms param")?;
+        if recovery_ms < delay_ms - 1e-9 {
+            return Err(format!(
+                "crash recovery ({recovery_ms} ms) outpaced the provisioning delay ({delay_ms} ms)"
+            ));
+        }
+    }
+
+    // Degraded silicon pays a worse tail than the same-load crash arm's.
+    let degraded = summary_record(artifact, "serve/scn-degraded/", "/summary")?;
+    let degraded_p99 = degraded.metric_value("p99_latency_ms").unwrap_or(0.0);
+    let crash_p99 = crash.metric_value("p99_latency_ms").unwrap_or(f64::INFINITY);
+    if degraded_p99 <= crash_p99 {
+        return Err(format!(
+            "3x-degraded silicon p99 ({degraded_p99} ms) no worse than healthy ({crash_p99} ms)"
+        ));
+    }
     Ok(())
 }
 

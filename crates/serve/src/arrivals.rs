@@ -85,6 +85,10 @@ pub struct Request {
     pub arrival_s: f64,
     /// The request's workload class.
     pub class: RequestClass,
+    /// The issuing tenant: an index into the scenario's
+    /// [`TenantMix`](crate::scenario::TenantMix), or 0 for single-tenant
+    /// workloads.
+    pub tenant: usize,
 }
 
 /// Declarative description of one request stream.
@@ -158,6 +162,7 @@ impl StreamSpec {
                 id: requests.len(),
                 arrival_s: t,
                 class: RequestClass { dataset, shrink },
+                tenant: 0,
             });
         }
         requests
@@ -267,12 +272,16 @@ fn exp_draw(rng: &mut StdRng, mean: f64) -> f64 {
     -(1.0 - u).ln() * mean
 }
 
-/// One serving workload: an open-loop stream or a closed-loop population.
-/// The unit every scenario simulates and every sweep axis enumerates.
+/// One serving workload: an open-loop stream (stationary or rate-shaped)
+/// or a closed-loop population. The unit every scenario simulates and
+/// every sweep axis enumerates.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Workload {
     /// Open-loop: arrivals ignore completions.
     Open(StreamSpec),
+    /// Open-loop with rate shapes and/or tenants composed over the base
+    /// generator (see [`crate::scenario`]).
+    Shaped(crate::scenario::ShapedStream),
     /// Closed-loop: each client waits for its response (plus a think time)
     /// before issuing the next request.
     Closed(ClosedLoopSpec),

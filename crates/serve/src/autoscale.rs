@@ -158,6 +158,22 @@ impl AutoscalePolicy {
             })
     }
 
+    /// Executes one scheduled scale-down at its effect time: re-checks the
+    /// per-group floor (the group's population may have changed since the
+    /// decision — a crash may have removed capacity the controller thought
+    /// it was shedding) and retires one idle shard through the same fleet
+    /// removal path a crash takes. Returns the retired slot, or `None`
+    /// when the removal is cancelled — because the group already sits at
+    /// its floor, or no shard of the group is idle any more (capacity
+    /// never vanishes mid-batch; forced removal is
+    /// [`ShardFleet::crash`]'s job, not the controller's).
+    pub fn retire_idle(&self, fleet: &mut ShardFleet, group: usize, now: f64) -> Option<usize> {
+        if fleet.active_in_group(group) <= self.min_shards {
+            return None;
+        }
+        fleet.deactivate_idle(group, now)
+    }
+
     /// The group losing a shard: most idle active shards among groups
     /// whose committed count (active + pending) is above `min_shards`,
     /// ties to the highest index.
@@ -285,6 +301,47 @@ mod tests {
         // Scale-up similarly respects per-group commitments: group 1 full
         // up with pendings, group 0 takes the shard.
         assert_eq!(policy.decide(&f, 100, 0.0, &[0, 2]), Decision::Up { group: 0 });
+    }
+
+    #[test]
+    fn retire_idle_rechecks_the_floor_and_cancels_on_busy_groups() {
+        let policy = AutoscalePolicy::new(1, 4);
+        let mut f = fleet();
+        f.activate(0, 0.0);
+        assert_eq!(policy.retire_idle(&mut f, 0, 0.0), Some(1), "idle above the floor retires");
+        assert_eq!(policy.retire_idle(&mut f, 0, 0.0), None, "at the floor the removal cancels");
+        // Above the floor but mid-batch: the removal cancels rather than
+        // killing in-flight work — that forced path is `crash`'s alone.
+        f.activate(0, 0.0);
+        f.dispatch(0, 0.0, 5.0, 1);
+        f.dispatch(1, 0.0, 5.0, 1);
+        assert_eq!(policy.retire_idle(&mut f, 0, 1.0), None);
+        assert_eq!(f.active_shards(), 2);
+    }
+
+    #[test]
+    fn a_crash_during_a_pending_scale_up_does_not_double_count_the_group() {
+        // The controller decided Up (pending +1) at 2 active shards, then
+        // one of them crashes before the effect lands. The committed count
+        // the next decision sees must be 1 active + 1 pending = 2 — not 3 —
+        // so with max 4 and a deep backlog the controller may still grow.
+        let policy = AutoscalePolicy::new(1, 4).with_up_backlog_per_shard(2.0);
+        let mut f = fleet();
+        f.activate(0, 0.0);
+        assert_eq!(f.active_in_group(0), 2);
+        assert_eq!(policy.decide(&f, 100, 0.0, &[1]), Decision::Up { group: 0 });
+        f.dispatch(0, 0.0, 5.0, 1);
+        assert!(f.crash(0, 1.0, 1));
+        assert_eq!(f.active_in_group(0), 1, "the crash removed exactly one active shard");
+        // 100 > 2 x (1 active + 1 pending): still room below max, still Up.
+        assert_eq!(policy.decide(&f, 100, 1.0, &[1]), Decision::Up { group: 0 });
+        // The pending activation lands and may reuse the crashed slot —
+        // the group ends at 2 active, never 3.
+        assert_eq!(f.activate(0, 1.5), Some(0));
+        assert_eq!(f.active_in_group(0), 2);
+        assert_eq!(f.group_stats()[0].peak_active, 2, "no phantom third shard ever existed");
+        // At max with pendings the controller holds, crash or no crash.
+        assert_eq!(policy.decide(&f, 100, 1.5, &[2]), Decision::Hold);
     }
 
     #[test]

@@ -287,8 +287,50 @@ impl ShardFleet {
     pub fn deactivate_idle(&mut self, group: usize, now: f64) -> Option<usize> {
         let slot =
             self.group_slots(group).rev().find(|&s| self.active[s] && self.busy_until[s] <= now)?;
-        self.active[slot] = false;
+        self.deactivate_slot(slot);
         Some(slot)
+    }
+
+    /// Crashes an active slot at `now`: the slot deactivates through the
+    /// same removal path a scale-down uses — except a crash does not wait
+    /// for idleness. Any unfinished batch is retracted from the slot's
+    /// books: the remaining service time is refunded from `busy_s` and the
+    /// batch/request counters roll back, so the shard that eventually
+    /// re-serves the work accounts for it exactly once.
+    /// `in_flight_requests` is the size of the interrupted batch (0 when
+    /// the shard crashed idle); the caller re-queues those requests.
+    ///
+    /// Returns whether the slot was mid-batch when it crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slot is not active, or `in_flight_requests`
+    /// disagrees with the slot's busy state.
+    pub fn crash(&mut self, slot: usize, now: f64, in_flight_requests: u64) -> bool {
+        assert!(self.active[slot], "only an active shard can crash");
+        let was_busy = self.busy_until[slot] > now;
+        assert_eq!(
+            was_busy,
+            in_flight_requests > 0,
+            "a busy shard crashes with its batch, an idle one with none"
+        );
+        if was_busy {
+            let remaining = self.busy_until[slot] - now;
+            self.stats[slot].busy_s -= remaining;
+            self.stats[slot].batches -= 1;
+            self.stats[slot].requests -= in_flight_requests;
+            self.busy_until[slot] = now;
+        }
+        self.deactivate_slot(slot);
+        was_busy
+    }
+
+    /// The single removal primitive behind both [`Self::deactivate_idle`]
+    /// (voluntary scale-down) and [`Self::crash`] (forced removal): a
+    /// deactivated slot stops accruing shard-seconds and re-enters the
+    /// pool [`Self::activate`] provisions from.
+    fn deactivate_slot(&mut self, slot: usize) {
+        self.active[slot] = false;
     }
 
     /// Accrues `dt` seconds of provisioned time to every active shard —
@@ -416,6 +458,47 @@ mod tests {
         assert_eq!(fleet.deactivate_idle(0, 1.0), None, "remaining active slots are busy");
         assert_eq!(fleet.active_shards(), 2);
         assert_eq!(fleet.group_stats()[0].peak_active, 3);
+    }
+
+    #[test]
+    fn crash_retracts_the_interrupted_batch_and_frees_the_slot() {
+        let groups = vec![ShardGroup::new("t16", ChipConfig::tile_16(), 2)];
+        let mut fleet = ShardFleet::new(&groups, None);
+        fleet.dispatch(0, 0.0, 4.0, 3);
+        assert!(fleet.crash(0, 1.0, 3), "mid-batch crash");
+        assert!(!fleet.is_active(0));
+        assert_eq!(fleet.active_shards(), 1);
+        // The unfinished 3 s of service refund; the 1 s the slot actually
+        // occupied stays on its books, but the batch/request counters roll
+        // back entirely — the work never completed here.
+        let stats = fleet.stats()[0];
+        assert!((stats.busy_s - 1.0).abs() < 1e-12);
+        assert_eq!((stats.batches, stats.requests), (0, 0));
+        // A crashed slot re-enters the provisioning pool like any retired
+        // slot, and comes back idle.
+        assert_eq!(fleet.activate(0, 2.0), Some(0));
+        assert!(fleet.idle_shards(2.0).contains(&0));
+    }
+
+    #[test]
+    fn idle_crashes_remove_capacity_without_touching_the_books() {
+        let groups = vec![ShardGroup::new("t16", ChipConfig::tile_16(), 2)];
+        let mut fleet = ShardFleet::new(&groups, None);
+        fleet.dispatch(0, 0.0, 1.0, 1);
+        assert!(!fleet.crash(0, 5.0, 0), "the batch finished long before the crash");
+        let stats = fleet.stats()[0];
+        assert!((stats.busy_s - 1.0).abs() < 1e-12);
+        assert_eq!((stats.batches, stats.requests), (1, 1));
+        assert_eq!(fleet.active_shards(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashes with its batch")]
+    fn crash_bookkeeping_must_match_the_busy_state() {
+        let groups = vec![ShardGroup::new("t16", ChipConfig::tile_16(), 1)];
+        let mut fleet = ShardFleet::new(&groups, None);
+        fleet.dispatch(0, 0.0, 2.0, 2);
+        fleet.crash(0, 1.0, 0);
     }
 
     #[test]

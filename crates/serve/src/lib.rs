@@ -4,11 +4,13 @@
 //! The rest of the workspace evaluates the accelerator one kernel at a
 //! time; this crate models what happens when *many* GNN/SpGEMM inference
 //! requests contend for a fleet of simulated chips: open- and closed-loop
-//! workloads, scheduling/batching policies, heterogeneous multi-chip
-//! sharding with class-aware dispatch, and elastic (autoscaled) capacity,
-//! measured as tail latency, sustained throughput, queue depth, per-shard
-//! and per-group utilisation and provisioned shard-seconds cost. Data
-//! flows through seven modules:
+//! workloads, rate-shaped multi-tenant traffic, scheduling/batching
+//! policies, heterogeneous multi-chip sharding with class-aware dispatch,
+//! elastic (autoscaled) capacity, admission control with load shedding,
+//! and deterministic fault injection, measured as tail latency, sustained
+//! throughput, shed rate, queue depth, per-shard and per-group
+//! utilisation, crash/recovery accounting and provisioned shard-seconds
+//! cost. Data flows through nine modules:
 //!
 //! 1. **[`arrivals`]** — demand. A [`StreamSpec`] (Poisson or bursty
 //!    arrivals, target rate, duration, request mix) expands into a
@@ -34,9 +36,20 @@
 //!    queue-depth controller with a provisioning delay, growing and
 //!    shrinking the fleet between bounds while the outcome reports the
 //!    shard-seconds the latency cost.
-//! 7. **[`sim`]** — the event-source replay producing a [`ServeOutcome`]:
-//!    p50/p95/p99 latency, throughput, queue depth, utilisation,
-//!    shard-seconds and scale events, emitted as `neura_lab` `RunRecord`s.
+//! 7. **[`scenario`]** — production traffic: [`RateShape`]s (diurnal
+//!    waves, flash crowds) composed over the base generators by thinning,
+//!    [`TenantMix`]es with per-tenant rate limits and SLOs, and the named
+//!    [`ScenarioSpec`] library every `serve` sweep runs.
+//! 8. **[`fault`]** — failure regimes: a [`FaultSpec`] expands into a
+//!    seed-derived [`FaultPlan`] of shard crashes (in-flight work
+//!    re-dispatches), provisioning failures and degraded-silicon service
+//!    multipliers.
+//! 9. **[`sim`]** — the event-source replay producing a [`ServeOutcome`]:
+//!    p50/p95/p99 latency, throughput, shed/crash/recovery accounting,
+//!    queue depth, utilisation, shard-seconds and scale events, emitted
+//!    as `neura_lab` `RunRecord`s. A [`ServeConfig`] carries the
+//!    admission-control and fault knobs alongside the classic
+//!    policy/fleet/dispatch/autoscale axes.
 //!
 //! On top sits **[`spec`]**: a [`ServeSweep`] enumerates workload × fleet
 //! mix × dispatch × autoscaler × policy scenarios with stable IDs and
@@ -51,8 +64,10 @@ pub mod arrivals;
 pub mod autoscale;
 pub mod cost;
 pub mod dispatch;
+pub mod fault;
 pub mod fleet;
 pub mod policy;
+pub mod scenario;
 pub mod sim;
 pub mod spec;
 
@@ -60,7 +75,12 @@ pub use arrivals::{ArrivalProcess, ClosedLoopSpec, Request, StreamSpec, Workload
 pub use autoscale::{AutoscalePolicy, ScaleEvent};
 pub use cost::{ClassCost, CostTable, RequestClass};
 pub use dispatch::{ClassAffinity, CostAware, DispatchKind, DispatchPolicy, LeastLoaded};
+pub use fault::{CrashEvent, FaultPlan, FaultSpec};
 pub use fleet::{GroupStats, ShardFleet, ShardGroup, ShardStats};
 pub use policy::Policy;
-pub use sim::{simulate, simulate_stream, ServeOutcome};
+pub use scenario::{RateShape, ScenarioSpec, ShapedStream, TenantMix, TenantSpec};
+pub use sim::{
+    simulate, simulate_config, simulate_stream, simulate_stream_config, ServeConfig, ServeOutcome,
+    TenantOutcome, SHED_LATENCY_S,
+};
 pub use spec::{FleetMix, ServeScenario, ServeSweep, WorkloadAxis};

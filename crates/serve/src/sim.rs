@@ -1,20 +1,34 @@
 //! The event-driven serving simulation and its metrics.
 //!
 //! [`simulate`] replays one scenario as an *event-source* loop. Requests
-//! enter from a [`Workload`] — a pre-generated open-loop stream or a
-//! closed-loop client population whose next arrival is only known once the
-//! previous response lands — and flow into a central backlog. The
+//! enter from a [`Workload`] — a pre-generated open-loop stream, a
+//! rate-shaped multi-tenant stream, or a closed-loop client population
+//! whose next arrival is only known once the previous response lands —
+//! and pass through admission control into a central backlog: a bounded
+//! queue sheds arrivals beyond its [`ServeConfig::queue_bound`], and a
+//! tenant's token bucket sheds arrivals beyond its rate limit. The
 //! scheduling [`Policy`] turns the backlog into dispatch units (single
 //! requests for FIFO/SJF, per-class batches for the batching policy), a
 //! class-aware [`DispatchPolicy`](crate::dispatch::DispatchPolicy) places
 //! each unit on one idle shard of a (possibly heterogeneous, possibly
 //! autoscaled) [`ShardFleet`], and the unit is charged the memoised
-//! service time of that shard's silicon. The loop advances through a
-//! deterministic event sequence — next arrival, next shard becoming free,
-//! next batch timeout, next provisioning effect, next autoscaler check —
-//! so the outcome is a pure function of
-//! `(workload, policy, fleet, dispatch, autoscale, costs)`; nothing about
-//! wall-clock time or thread scheduling can leak into the metrics.
+//! service time of that shard's silicon — stretched by the fault plan's
+//! multiplier when the shard's group runs degraded. A [`FaultSpec`]
+//! additionally injects seed-derived shard crashes (the victim's
+//! in-flight batch returns to the queue head for re-dispatch) and
+//! provisioning failures (a scheduled scale-up silently doesn't land).
+//!
+//! The loop advances through a deterministic event sequence — next
+//! arrival, next batch completion, next batch timeout, next injected
+//! crash, next provisioning effect, next autoscaler check — and each
+//! event processes completions, then arrivals and admission, then
+//! crashes, then provisioning, then the autoscaler, in that fixed order.
+//! The outcome is therefore a pure function of
+//! `(workload, policy, fleet, dispatch, autoscale, faults, costs)`;
+//! nothing about wall-clock time or thread scheduling can leak into the
+//! metrics. Every request is accounted for exactly once: served (finite
+//! non-negative latency), shed (the [`SHED_LATENCY_S`] sentinel), or
+//! crashed-and-redispatched until served.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -24,24 +38,62 @@ use crate::arrivals::{ClosedLoopClients, Request, Workload};
 use crate::autoscale::{AutoscalePolicy, Decision, ScaleEvent};
 use crate::cost::{CostTable, RequestClass};
 use crate::dispatch::DispatchKind;
+use crate::fault::{CrashEvent, FaultPlan, FaultSpec};
 use crate::fleet::{GroupStats, ShardFleet, ShardGroup, ShardStats};
 use crate::policy::Policy;
+use crate::scenario::{TenantMix, TENANT_BURST_S};
+
+/// The latency sentinel a shed request carries in
+/// [`ServeOutcome::latencies_s`]. Deliberately a *finite* negative value —
+/// not NaN — so outcomes stay `PartialEq`-comparable and the determinism
+/// suite can keep asserting byte-for-byte equality. Served-only metrics
+/// filter on `latency >= 0.0`.
+pub const SHED_LATENCY_S: f64 = -1.0;
+
+/// Per-tenant admission accounting (populated only when a tenant mix is
+/// configured).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantOutcome {
+    /// The tenant's name, as declared in the mix.
+    pub name: String,
+    /// The tenant's latency SLO, if declared (reported, never enforced).
+    pub slo_s: Option<f64>,
+    /// Requests the tenant offered (admitted or shed).
+    pub offered: u64,
+    /// Requests shed at admission (queue bound or rate limit).
+    pub shed: u64,
+}
 
 /// Everything one scenario replay measured.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOutcome {
-    /// Per-request latency (completion − arrival) in seconds, id-ordered.
+    /// Per-request latency (completion − arrival) in seconds, id-ordered;
+    /// shed requests carry [`SHED_LATENCY_S`].
     pub latencies_s: Vec<f64>,
     /// Per-request arrival time in seconds, id-ordered (so completion
     /// times — and with them in-flight counts — are reconstructable).
     pub arrivals_s: Vec<f64>,
+    /// Per-request tenant index, id-ordered (all 0 without a mix).
+    pub tenants: Vec<usize>,
+    /// Ids of shed requests, ascending.
+    pub shed: Vec<usize>,
+    /// Requests shed because the backlog was at its bound.
+    pub shed_queue: u64,
+    /// Requests shed because their tenant's token bucket was empty.
+    pub shed_limit: u64,
+    /// Per-tenant admission accounting (empty without a tenant mix).
+    pub tenant_outcomes: Vec<TenantOutcome>,
+    /// Every injected shard crash, in time order.
+    pub crash_events: Vec<CrashEvent>,
+    /// Scheduled scale-ups that failed to provision.
+    pub provision_failures: u64,
     /// Time of the last batch completion (0 for an empty stream).
     pub makespan_s: f64,
     /// Time-weighted mean backlog depth over the makespan.
     pub queue_depth_mean: f64,
     /// Largest backlog depth observed at any event.
     pub queue_depth_max: usize,
-    /// Size of every dispatched batch, in dispatch order.
+    /// Size of every completed batch, in completion order.
     pub batch_sizes: Vec<usize>,
     /// Per-shard-slot counters.
     pub shard_stats: Vec<ShardStats>,
@@ -50,17 +102,65 @@ pub struct ServeOutcome {
     /// Per-group aggregates (busy time, served counts, provisioned
     /// shard-seconds, peak active shards).
     pub group_stats: Vec<GroupStats>,
-    /// Every executed fleet-size change, in effect order.
+    /// Every executed fleet-size change, in effect order. Crashes are
+    /// *not* scale events — they appear in [`Self::crash_events`].
     pub scale_events: Vec<ScaleEvent>,
 }
 
 impl ServeOutcome {
-    /// Number of requests served.
-    pub fn requests(&self) -> usize {
-        self.latencies_s.len()
+    /// Number of requests offered (served + shed).
+    pub fn offered(&self) -> usize {
+        self.arrivals_s.len()
     }
 
-    /// Latency percentile in seconds (nearest-rank; 0 for an empty stream).
+    /// Number of requests served to completion.
+    pub fn requests(&self) -> usize {
+        self.latencies_s.iter().filter(|&&l| l >= 0.0).count()
+    }
+
+    /// Fraction of offered requests shed at admission (0 for an empty
+    /// stream).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered() > 0 {
+            self.shed.len() as f64 / self.offered() as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Requests that were in flight on crashing shards and re-dispatched.
+    pub fn redispatched(&self) -> usize {
+        self.crash_events.iter().map(|c| c.redispatched).sum()
+    }
+
+    /// Per-crash recovery time: from the crash to the effect of the first
+    /// scale-up the autoscaler decided *after* it in the crashed group
+    /// (crashes the autoscaler never repaired are absent). Each entry is
+    /// at least the provisioning delay by construction.
+    pub fn recovery_times_s(&self) -> Vec<f64> {
+        self.crash_events
+            .iter()
+            .filter_map(|c| {
+                self.scale_events
+                    .iter()
+                    .find(|e| e.group == c.group && e.delta > 0 && e.decision_s >= c.at_s)
+                    .map(|e| e.effect_s - c.at_s)
+            })
+            .collect()
+    }
+
+    /// Mean recovery time over the repaired crashes (0 when none).
+    pub fn mean_recovery_s(&self) -> f64 {
+        let times = self.recovery_times_s();
+        if times.is_empty() {
+            0.0
+        } else {
+            times.iter().sum::<f64>() / times.len() as f64
+        }
+    }
+
+    /// Latency percentile in seconds over *served* requests
+    /// (nearest-rank; 0 when nothing was served).
     ///
     /// Sorts the latency vector per call — when reading several
     /// percentiles, use [`Self::latency_percentiles_s`] to sort once.
@@ -72,14 +172,14 @@ impl ServeOutcome {
         self.latency_percentiles_s(&[pct])[0]
     }
 
-    /// Several latency percentiles in seconds from a single sort
-    /// (nearest-rank; 0 for an empty stream).
+    /// Several served-latency percentiles in seconds from a single sort
+    /// (nearest-rank; 0 when nothing was served).
     ///
     /// # Panics
     ///
     /// Panics unless every percentile is within `(0, 100]`.
     pub fn latency_percentiles_s(&self, pcts: &[f64]) -> Vec<f64> {
-        let mut sorted = self.latencies_s.clone();
+        let mut sorted: Vec<f64> = self.latencies_s.iter().copied().filter(|&l| l >= 0.0).collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         pcts.iter()
             .map(|&pct| {
@@ -93,12 +193,13 @@ impl ServeOutcome {
             .collect()
     }
 
-    /// Mean latency in seconds (0 for an empty stream).
+    /// Mean served latency in seconds (0 when nothing was served).
     pub fn mean_latency_s(&self) -> f64 {
-        if self.latencies_s.is_empty() {
+        let served = self.requests();
+        if served == 0 {
             0.0
         } else {
-            self.latencies_s.iter().sum::<f64>() / self.latencies_s.len() as f64
+            self.latencies_s.iter().filter(|&&l| l >= 0.0).sum::<f64>() / served as f64
         }
     }
 
@@ -111,7 +212,7 @@ impl ServeOutcome {
         }
     }
 
-    /// Mean dispatched batch size (0 when nothing was dispatched).
+    /// Mean completed batch size (0 when nothing was dispatched).
     pub fn mean_batch_size(&self) -> f64 {
         if self.batch_sizes.is_empty() {
             0.0
@@ -120,7 +221,7 @@ impl ServeOutcome {
         }
     }
 
-    /// Largest dispatched batch.
+    /// Largest completed batch.
     pub fn max_batch_size(&self) -> usize {
         self.batch_sizes.iter().copied().max().unwrap_or(0)
     }
@@ -148,15 +249,18 @@ impl ServeOutcome {
         }
     }
 
-    /// The largest number of requests simultaneously in flight (arrived but
-    /// not yet completed) — the quantity a closed loop bounds by its client
-    /// count.
+    /// The largest number of *served* requests simultaneously in flight
+    /// (arrived but not yet completed; shed requests never occupy the
+    /// system) — the quantity a closed loop bounds by its client count.
     pub fn max_in_flight(&self) -> usize {
         // +1 at each arrival, −1 at each completion; completions at the
         // same instant as an arrival are processed first (a closed-loop
         // client's next request can only follow its response).
         let mut events: Vec<(f64, i64)> = Vec::with_capacity(2 * self.latencies_s.len());
         for (&arrival, &latency) in self.arrivals_s.iter().zip(&self.latencies_s) {
+            if latency < 0.0 {
+                continue;
+            }
             events.push((arrival, 1));
             events.push((arrival + latency, -1));
         }
@@ -172,15 +276,27 @@ impl ServeOutcome {
     }
 
     /// The artifact records describing this outcome: one scenario summary
-    /// (tail latencies, throughput, queue depth, batching, shard-seconds
-    /// cost), one record per shard group (utilisation of the provisioned
-    /// capacity, served counts, peak active shards) and one per shard slot
-    /// (utilisation, busy time, served counts). `scope` prefixes every
-    /// record ID and `params` is attached to each record.
+    /// (tail latencies, throughput, shed/crash/recovery accounting, queue
+    /// depth, batching, shard-seconds cost), one record per tenant of the
+    /// mix (admission and SLO attainment), one per shard group
+    /// (utilisation of the provisioned capacity, served counts, peak
+    /// active shards) and one per shard slot (utilisation, busy time,
+    /// served counts). `scope` prefixes every record ID and `params` is
+    /// attached to each record.
     pub fn records(&self, scope: &str, params: &[(String, String)]) -> Vec<RunRecord> {
         let tails = self.latency_percentiles_s(&[50.0, 95.0, 99.0]);
         let mut summary = RunRecord::new(format!("{scope}/summary"))
             .metric("requests", self.requests() as f64)
+            .metric("offered", self.offered() as f64)
+            .metric("shed", self.shed.len() as f64)
+            .metric("shed_rate", self.shed_rate())
+            .metric("shed_queue", self.shed_queue as f64)
+            .metric("shed_limit", self.shed_limit as f64)
+            .metric("crashes", self.crash_events.len() as f64)
+            .metric("redispatched", self.redispatched() as f64)
+            .metric("provision_failures", self.provision_failures as f64)
+            .metric("recoveries", self.recovery_times_s().len() as f64)
+            .unit_metric("recovery_time_ms", self.mean_recovery_s() * 1e3, "ms")
             .unit_metric("p50_latency_ms", tails[0] * 1e3, "ms")
             .unit_metric("p95_latency_ms", tails[1] * 1e3, "ms")
             .unit_metric("p99_latency_ms", tails[2] * 1e3, "ms")
@@ -198,6 +314,40 @@ impl ServeOutcome {
             .metric("scale_events", self.scale_events.len() as f64);
         summary.params = params.to_vec();
         let mut records = vec![summary];
+        for (t, tenant) in self.tenant_outcomes.iter().enumerate() {
+            let mut served: Vec<f64> = self
+                .tenants
+                .iter()
+                .zip(&self.latencies_s)
+                .filter(|&(&owner, &l)| owner == t && l >= 0.0)
+                .map(|(_, &l)| l)
+                .collect();
+            served.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            let p99 = if served.is_empty() {
+                0.0
+            } else {
+                let rank = (0.99 * served.len() as f64).ceil() as usize;
+                served[rank.clamp(1, served.len()) - 1]
+            };
+            let admitted = tenant.offered - tenant.shed;
+            let shed_rate =
+                if tenant.offered > 0 { tenant.shed as f64 / tenant.offered as f64 } else { 0.0 };
+            let mut record = RunRecord::new(format!("{scope}/tenant/{}", tenant.name))
+                .metric("offered", tenant.offered as f64)
+                .metric("admitted", admitted as f64)
+                .metric("shed", tenant.shed as f64)
+                .metric("shed_rate", shed_rate)
+                .unit_metric("p99_latency_ms", p99 * 1e3, "ms");
+            if let Some(slo) = tenant.slo_s {
+                let within = served.iter().filter(|&&l| l <= slo).count();
+                let attainment =
+                    if served.is_empty() { 1.0 } else { within as f64 / served.len() as f64 };
+                record = record.metric("slo_attainment", attainment);
+            }
+            record.params = params.to_vec();
+            record.params.push(("tenant".to_string(), tenant.name.clone()));
+            records.push(record);
+        }
         for (g, group) in self.group_stats.iter().enumerate() {
             let utilisation =
                 if group.shard_seconds > 0.0 { group.busy_s / group.shard_seconds } else { 0.0 };
@@ -255,7 +405,8 @@ impl Backlog {
 
     /// Returns a unit taken by [`Self::take_ready`] to the head of its
     /// queue, preserving order — used when the dispatch policy holds the
-    /// unit for busy preferred silicon.
+    /// unit for busy preferred silicon, and when a crash returns a
+    /// victim's in-flight batch for re-dispatch.
     fn push_front(&mut self, unit: &[usize], class: RequestClass) {
         match self {
             Backlog::Single(queue) => {
@@ -276,17 +427,6 @@ impl Backlog {
         match self {
             Backlog::Single(queue) => queue.len(),
             Backlog::Classed(queues) => queues.values().map(VecDeque::len).sum(),
-        }
-    }
-
-    /// Whether some dispatch unit is ready at `now`.
-    fn has_ready(&self, now: f64, policy: Policy, requests: &[Request]) -> bool {
-        match (self, policy) {
-            (Backlog::Single(queue), _) => !queue.is_empty(),
-            (Backlog::Classed(queues), Policy::BatchByDataset { max_batch, timeout_s }) => {
-                queues.values().any(|q| class_ready(q, requests, max_batch, timeout_s, now))
-            }
-            (Backlog::Classed(_), _) => unreachable!("classed backlog implies batching policy"),
         }
     }
 
@@ -414,7 +554,7 @@ impl Source<'_> {
                     let Some(pos) = due else { break };
                     let (at, client) = pending.swap_remove(pos);
                     let class = clients.draw_class(client);
-                    arrived.push(Request { id: arrived.len(), arrival_s: at, class });
+                    arrived.push(Request { id: arrived.len(), arrival_s: at, class, tenant: 0 });
                     owners.push(client);
                 }
             }
@@ -442,6 +582,111 @@ struct PendingOp {
     delta: i64,
 }
 
+/// One tenant's admission token bucket: `rate` tokens per second up to a
+/// `burst` ceiling of [`TENANT_BURST_S`] seconds' worth (at least 1);
+/// admitting a request costs one token. Starts full, so a tenant may
+/// admit at most `burst + rate × t` requests by time `t`.
+#[derive(Debug, Clone, Copy)]
+struct TenantGate {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last_s: f64,
+}
+
+impl TenantGate {
+    fn new(rate: f64) -> Self {
+        let burst = (rate * TENANT_BURST_S).max(1.0);
+        TenantGate { rate, burst, tokens: burst, last_s: 0.0 }
+    }
+
+    fn admit(&mut self, now: f64) -> bool {
+        self.tokens = (self.tokens + (now - self.last_s) * self.rate).min(self.burst);
+        self.last_s = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One scenario's full serving configuration: the scheduling policy,
+/// fleet, dispatch and cost model every replay needs, plus the optional
+/// production knobs — autoscaling, a bounded queue that sheds, a tenant
+/// mix with rate limits, and a fault regime.
+///
+/// Admission control (queue bound and tenant limits) applies to open-loop
+/// arrivals only: a closed-loop population self-limits by construction —
+/// its clients wait rather than having requests dropped.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig<'a> {
+    /// The scheduling policy.
+    pub policy: Policy,
+    /// The fleet's shard groups.
+    pub groups: &'a [ShardGroup],
+    /// The dispatch policy choosing a shard per unit.
+    pub dispatch: DispatchKind,
+    /// The autoscaler, if the fleet is elastic.
+    pub autoscale: Option<&'a AutoscalePolicy>,
+    /// The calibrated service-time table.
+    pub costs: &'a CostTable,
+    /// Backlog bound: arrivals beyond it are shed (`None` = unbounded).
+    pub queue_bound: Option<usize>,
+    /// Tenant mix for admission control and per-tenant accounting
+    /// (`None` = the workload's own mix, or a single implicit tenant).
+    pub tenants: Option<&'a TenantMix>,
+    /// Fault regime to inject (`None` = a healthy fleet).
+    pub faults: Option<&'a FaultSpec>,
+}
+
+impl<'a> ServeConfig<'a> {
+    /// A plain configuration: fixed fleet, unbounded queue, single
+    /// tenant, no faults.
+    pub fn new(
+        policy: Policy,
+        groups: &'a [ShardGroup],
+        dispatch: DispatchKind,
+        costs: &'a CostTable,
+    ) -> Self {
+        ServeConfig {
+            policy,
+            groups,
+            dispatch,
+            autoscale: None,
+            costs,
+            queue_bound: None,
+            tenants: None,
+            faults: None,
+        }
+    }
+
+    /// Runs the fleet under an autoscaler (builder style).
+    pub fn with_autoscale(mut self, policy: &'a AutoscalePolicy) -> Self {
+        self.autoscale = Some(policy);
+        self
+    }
+
+    /// Bounds the backlog; arrivals beyond the bound shed (builder style).
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = Some(bound);
+        self
+    }
+
+    /// Applies a tenant mix's rate limits and accounting (builder style).
+    pub fn with_tenants(mut self, tenants: &'a TenantMix) -> Self {
+        self.tenants = Some(tenants);
+        self
+    }
+
+    /// Injects a fault regime (builder style).
+    pub fn with_faults(mut self, faults: &'a FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}
+
 /// Replays one serving scenario and returns its metrics.
 ///
 /// The fleet is described by `groups` (one entry per shard group, each with
@@ -450,6 +695,9 @@ struct PendingOp {
 /// `autoscale` set, each group's initial shard count must lie within the
 /// policy's `[min, max]` bounds and the fleet pre-allocates `max` slots per
 /// group.
+///
+/// This is the plain-configuration entry point; [`simulate_config`] takes
+/// the full [`ServeConfig`] with admission control and fault injection.
 ///
 /// # Panics
 ///
@@ -464,17 +712,9 @@ pub fn simulate(
     autoscale: Option<&AutoscalePolicy>,
     costs: &CostTable,
 ) -> ServeOutcome {
-    match workload {
-        Workload::Open(spec) => {
-            let stream = spec.generate();
-            simulate_stream(&stream, policy, groups, dispatch, autoscale, costs)
-        }
-        Workload::Closed(spec) => {
-            let (clients, pending) = spec.clients();
-            let source = Source::Closed { clients, pending, owners: Vec::new() };
-            run(source, policy, groups, dispatch, autoscale, costs)
-        }
-    }
+    let mut cfg = ServeConfig::new(policy, groups, dispatch, costs);
+    cfg.autoscale = autoscale;
+    simulate_config(workload, &cfg)
 }
 
 /// [`simulate`] over an explicit, pre-generated open-loop stream (as
@@ -494,24 +734,57 @@ pub fn simulate_stream(
     autoscale: Option<&AutoscalePolicy>,
     costs: &CostTable,
 ) -> ServeOutcome {
+    let mut cfg = ServeConfig::new(policy, groups, dispatch, costs);
+    cfg.autoscale = autoscale;
+    simulate_stream_config(requests, &cfg)
+}
+
+/// Replays one workload under a full [`ServeConfig`].
+///
+/// For a [`Workload::Shaped`] stream, an explicit `cfg.tenants` wins over
+/// the stream's own mix; without either, every request is tenant 0.
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_config(workload: &Workload, cfg: &ServeConfig<'_>) -> ServeOutcome {
+    match workload {
+        Workload::Open(spec) => {
+            let stream = spec.generate();
+            simulate_stream_config(&stream, cfg)
+        }
+        Workload::Shaped(shaped) => {
+            let stream = shaped.generate();
+            let tenants = cfg.tenants.or(shaped.tenants.as_ref());
+            run(Source::Open { stream: &stream, cursor: 0 }, cfg, tenants)
+        }
+        Workload::Closed(spec) => {
+            let (clients, pending) = spec.clients();
+            let source = Source::Closed { clients, pending, owners: Vec::new() };
+            run(source, cfg, cfg.tenants)
+        }
+    }
+}
+
+/// [`simulate_config`] over an explicit, pre-generated open-loop stream.
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_stream_config(requests: &[Request], cfg: &ServeConfig<'_>) -> ServeOutcome {
     assert!(
         requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
         "request streams must be sorted by arrival time"
     );
-    run(Source::Open { stream: requests, cursor: 0 }, policy, groups, dispatch, autoscale, costs)
+    run(Source::Open { stream: requests, cursor: 0 }, cfg, cfg.tenants)
 }
 
-/// The shared event loop behind both workload shapes.
-fn run(
-    mut source: Source<'_>,
-    policy: Policy,
-    groups: &[ShardGroup],
-    dispatch: DispatchKind,
-    autoscale: Option<&AutoscalePolicy>,
-    costs: &CostTable,
-) -> ServeOutcome {
-    let capacities: Option<Vec<usize>> = autoscale.map(|p| {
-        groups
+/// The shared event loop behind every workload shape.
+fn run(mut source: Source<'_>, cfg: &ServeConfig<'_>, tenants: Option<&TenantMix>) -> ServeOutcome {
+    let policy = cfg.policy;
+    let costs = cfg.costs;
+    let capacities: Option<Vec<usize>> = cfg.autoscale.map(|p| {
+        cfg.groups
             .iter()
             .map(|g| {
                 assert!(
@@ -526,15 +799,30 @@ fn run(
             })
             .collect()
     });
-    let mut fleet = ShardFleet::new(groups, capacities.as_deref());
-    let dispatcher = dispatch.policy();
+    let mut fleet = ShardFleet::new(cfg.groups, capacities.as_deref());
+    let mut plan: Option<FaultPlan> = cfg.faults.map(|f| f.plan(fleet.group_count()));
+    let dispatcher = cfg.dispatch.policy();
     let mut backlog = Backlog::new(policy);
+    // Admission control sheds open-loop arrivals only: closed-loop clients
+    // self-limit (they wait for their response instead of being dropped),
+    // and shedding their zero-think re-issues would spin the clock.
+    let admission = matches!(source, Source::Open { .. });
+    let mut gates: Vec<Option<TenantGate>> = tenants.map_or_else(Vec::new, |mix| {
+        mix.tenants().iter().map(|t| t.rate_limit_rps.map(TenantGate::new)).collect()
+    });
+    let mut tenant_offered = vec![0u64; gates.len()];
+    let mut tenant_shed = vec![0u64; gates.len()];
     let mut arrived: Vec<Request> = Vec::new();
     let mut latencies: Vec<f64> = Vec::new();
+    let mut shed_ids: Vec<usize> = Vec::new();
+    let (mut shed_queue, mut shed_limit) = (0u64, 0u64);
+    let mut in_flight: Vec<Option<Vec<usize>>> = vec![None; fleet.capacity()];
     let mut batch_sizes = Vec::new();
+    let mut crash_events: Vec<CrashEvent> = Vec::new();
+    let mut provision_failures = 0u64;
     let mut scale_events: Vec<ScaleEvent> = Vec::new();
     let mut pending_ops: Vec<PendingOp> = Vec::new();
-    let mut next_check = autoscale.map(|p| p.check_interval_s);
+    let mut next_check = cfg.autoscale.map(|p| p.check_interval_s);
     let mut now = 0.0f64;
     let mut makespan = 0.0f64;
     let mut depth_integral = 0.0f64;
@@ -545,7 +833,8 @@ fn run(
         // dispatch policy picks *which* idle shard serves each unit, or
         // holds it (returning the unit to the queue head) to wait for busy
         // preferred silicon — in which case the next release is the event
-        // that re-offers it.
+        // that re-offers it. Latencies finalise at *completion*, not here:
+        // a crash may still retract the batch.
         loop {
             let idle = fleet.idle_shards(now);
             if idle.is_empty() {
@@ -564,33 +853,31 @@ fn run(
                 backlog.push_front(&batch, class);
                 break;
             };
-            let service = costs.service_seconds(fleet.shard_fingerprint(shard), class, batch.len());
-            let finish = fleet.dispatch(shard, now, service, batch.len() as u64);
-            for &id in &batch {
-                latencies[id] = finish - arrived[id].arrival_s;
-                source.on_complete(id, finish);
-            }
-            makespan = makespan.max(finish);
-            batch_sizes.push(batch.len());
+            let healthy = costs.service_seconds(fleet.shard_fingerprint(shard), class, batch.len());
+            let degraded = plan.as_ref().map_or(1.0, |p| p.multiplier(fleet.group_of(shard)));
+            fleet.dispatch(shard, now, healthy * degraded, batch.len() as u64);
+            in_flight[shard] = Some(batch);
         }
 
-        // The next event: an arrival, a shard freeing up (only relevant
-        // while a ready unit waits), a batch timeout expiring, a scheduled
-        // fleet change taking effect, or an autoscaler check (only while
-        // work remains — otherwise checks could tick forever). After the
+        // The next event: an arrival, a batch completing, a batch timeout
+        // expiring, an injected crash, a scheduled fleet change taking
+        // effect, or an autoscaler check (crashes and checks only while
+        // work remains — otherwise they could tick forever). After the
         // dispatch loop each of these lies in the future, and every
-        // finite-time source below is consumed when due, so the loop always
-        // makes progress.
-        let work_remains =
-            source.next_time().is_some() || backlog.len() > 0 || !pending_ops.is_empty();
+        // finite-time source below is consumed when due, so the loop
+        // always makes progress.
+        let work_remains = source.next_time().is_some()
+            || backlog.len() > 0
+            || !pending_ops.is_empty()
+            || in_flight.iter().any(Option::is_some);
         let mut t_next = f64::INFINITY;
         if let Some(t) = source.next_time() {
             t_next = t_next.min(t);
         }
-        if backlog.has_ready(now, policy, &arrived) {
-            // Strictly-future releases only: with a held batch, idle shards
-            // exist whose busy-until is already behind `now`.
-            t_next = t_next.min(fleet.next_busy_free_at(now));
+        for (slot, batch) in in_flight.iter().enumerate() {
+            if batch.is_some() {
+                t_next = t_next.min(fleet.busy_until(slot));
+            }
         }
         if let Some(deadline) = backlog.next_deadline(now, policy, &arrived) {
             t_next = t_next.min(deadline);
@@ -598,8 +885,13 @@ fn run(
         for op in &pending_ops {
             t_next = t_next.min(op.effect_s);
         }
-        if let (Some(check), true) = (next_check, work_remains) {
-            t_next = t_next.min(check);
+        if work_remains {
+            if let Some(at) = plan.as_ref().and_then(FaultPlan::next_crash_at) {
+                t_next = t_next.min(at);
+            }
+            if let Some(check) = next_check {
+                t_next = t_next.min(check);
+            }
         }
         if !t_next.is_finite() {
             break;
@@ -608,19 +900,103 @@ fn run(
         depth_integral += backlog.len() as f64 * (t_next - now);
         now = t_next;
 
-        // 1. Arrivals due at `now` join the backlog.
+        // 1. Completions due at `now` finalise, in slot order: the batch
+        //    really finished, so its latencies are now facts no crash can
+        //    retract.
+        for (slot, entry) in in_flight.iter_mut().enumerate() {
+            if entry.is_some() && fleet.busy_until(slot) <= now {
+                let batch = entry.take().expect("slot checked above");
+                let finish = fleet.busy_until(slot);
+                for &id in &batch {
+                    latencies[id] = finish - arrived[id].arrival_s;
+                    source.on_complete(id, finish);
+                }
+                makespan = makespan.max(finish);
+                batch_sizes.push(batch.len());
+            }
+        }
+
+        // 2. Arrivals due at `now` pass admission into the backlog (after
+        //    completions, so a zero-think closed-loop re-issue lands in
+        //    the same event). An arrival sheds when the backlog is at its
+        //    bound, or when its tenant's token bucket is empty.
         let first_new = arrived.len();
         source.pop_due(now, &mut arrived);
-        for request in &arrived[first_new..] {
-            backlog.push(request.id, request.class);
+        for req in &arrived[first_new..] {
+            let (id, class, tenant) = (req.id, req.class, req.tenant);
             latencies.push(f64::NAN);
+            if let Some(count) = tenant_offered.get_mut(tenant) {
+                *count += 1;
+            }
+            let admit = if !admission {
+                true
+            } else if cfg.queue_bound.is_some_and(|bound| backlog.len() >= bound) {
+                shed_queue += 1;
+                false
+            } else if let Some(gate) = gates.get_mut(tenant).and_then(Option::as_mut) {
+                let pass = gate.admit(now);
+                if !pass {
+                    shed_limit += 1;
+                }
+                pass
+            } else {
+                true
+            };
+            if admit {
+                backlog.push(id, class);
+            } else {
+                latencies[id] = SHED_LATENCY_S;
+                shed_ids.push(id);
+                if let Some(count) = tenant_shed.get_mut(tenant) {
+                    *count += 1;
+                }
+                source.on_complete(id, now);
+            }
         }
         depth_max = depth_max.max(backlog.len());
 
-        // 2. Provisioning effects due at `now` apply, in (effect, decision,
-        //    group, delta) order. A scale-down whose chosen group has no
-        //    idle shard any more is cancelled — capacity never vanishes
-        //    mid-batch.
+        // 3. Injected crashes due at `now`: the victim is the busiest
+        //    active shard of the scheduled group (ties to the lowest
+        //    slot), its in-flight batch returns to the queue head —
+        //    re-queued work bypasses admission; admitted work is never
+        //    shed — and the slot deactivates. A crash that would empty
+        //    the fleet, or lands in a group with no active shard, is
+        //    skipped: the simulation models degraded service, not total
+        //    outage.
+        if let Some(plan) = plan.as_mut() {
+            while let Some((at, group)) = plan.pop_crash_due(now) {
+                debug_assert!(at <= now, "crashes pop when due");
+                if fleet.active_shards() <= 1 {
+                    continue;
+                }
+                let victim = (0..fleet.capacity())
+                    .filter(|&s| fleet.group_of(s) == group && fleet.is_active(s))
+                    .max_by(|&a, &b| {
+                        fleet
+                            .busy_until(a)
+                            .partial_cmp(&fleet.busy_until(b))
+                            .expect("busy horizons are finite")
+                            .then(b.cmp(&a))
+                    });
+                let Some(victim) = victim else { continue };
+                let batch = in_flight[victim].take();
+                let redispatched = batch.as_ref().map_or(0, Vec::len);
+                if let Some(batch) = batch {
+                    let class = arrived[batch[0]].class;
+                    backlog.push_front(&batch, class);
+                }
+                fleet.crash(victim, now, redispatched as u64);
+                crash_events.push(CrashEvent { at_s: now, shard: victim, group, redispatched });
+                depth_max = depth_max.max(backlog.len());
+            }
+        }
+
+        // 4. Provisioning effects due at `now` apply, in (effect,
+        //    decision, group, delta) order. A scale-up rolls the fault
+        //    plan's provisioning die first — a failed roll leaves the
+        //    slot inactive and counts a provisioning failure. Scale-downs
+        //    go through the policy's shared retire path, which re-checks
+        //    the per-group floor and idleness at effect time.
         while let Some(pos) = pending_ops
             .iter()
             .enumerate()
@@ -637,14 +1013,17 @@ fn run(
         {
             let op = pending_ops.remove(pos);
             let applied = if op.delta > 0 {
-                fleet.activate(op.group, now).is_some()
+                if plan.as_mut().is_none_or(FaultPlan::provision_succeeds) {
+                    fleet.activate(op.group, now).is_some()
+                } else {
+                    provision_failures += 1;
+                    false
+                }
             } else {
-                // Re-check the per-group floor at effect time: the group's
-                // population may have changed since the decision, and the
-                // fleet-level `deactivate_idle` knows nothing about bounds.
-                let above_floor =
-                    autoscale.is_some_and(|p| fleet.active_in_group(op.group) > p.min_shards);
-                above_floor && fleet.deactivate_idle(op.group, now).is_some()
+                cfg.autoscale
+                    .expect("pending ops only exist under an autoscaler")
+                    .retire_idle(&mut fleet, op.group, now)
+                    .is_some()
             };
             if applied {
                 scale_events.push(ScaleEvent {
@@ -657,8 +1036,8 @@ fn run(
             }
         }
 
-        // 3. The autoscaler's periodic decision.
-        if let (Some(policy_as), Some(check)) = (autoscale, next_check) {
+        // 5. The autoscaler's periodic decision.
+        if let (Some(policy_as), Some(check)) = (cfg.autoscale, next_check) {
             if check <= now {
                 let mut pending = vec![0i64; fleet.group_count()];
                 for op in &pending_ops {
@@ -689,10 +1068,32 @@ fn run(
         fleet.accrue(makespan - now);
     }
 
-    debug_assert!(latencies.iter().all(|l| l.is_finite()), "every request is served");
+    debug_assert!(
+        latencies.iter().all(|&l| l >= 0.0 || l == SHED_LATENCY_S),
+        "every request is served or shed, exactly once"
+    );
+    let tenant_outcomes = tenants.map_or_else(Vec::new, |mix| {
+        mix.tenants()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TenantOutcome {
+                name: t.name.clone(),
+                slo_s: t.slo_s,
+                offered: tenant_offered[i],
+                shed: tenant_shed[i],
+            })
+            .collect()
+    });
     ServeOutcome {
         latencies_s: latencies,
         arrivals_s: arrived.iter().map(|r| r.arrival_s).collect(),
+        tenants: arrived.iter().map(|r| r.tenant).collect(),
+        shed: shed_ids,
+        shed_queue,
+        shed_limit,
+        tenant_outcomes,
+        crash_events,
+        provision_failures,
         makespan_s: makespan,
         queue_depth_mean: if makespan > 0.0 { depth_integral / makespan } else { 0.0 },
         queue_depth_max: depth_max,
@@ -709,6 +1110,7 @@ mod tests {
     use super::*;
     use crate::arrivals::{ArrivalProcess, ClosedLoopSpec, StreamSpec};
     use crate::cost::ClassCost;
+    use crate::scenario::{RateShape, ShapedStream, TenantSpec};
     use neura_chip::config::ChipConfig;
 
     /// A homogeneous Tile-16 fleet of `n` shards.
@@ -735,7 +1137,7 @@ mod tests {
     }
 
     fn request(id: usize, arrival_s: f64, dataset: usize) -> Request {
-        Request { id, arrival_s, class: RequestClass { dataset, shrink: 1 } }
+        Request { id, arrival_s, class: RequestClass { dataset, shrink: 1 }, tenant: 0 }
     }
 
     fn sim(stream: &[Request], policy: Policy, shards: usize, costs: &CostTable) -> ServeOutcome {
@@ -763,6 +1165,9 @@ mod tests {
         assert!((outcome.utilisations()[0] - 1.0).abs() < 1e-12);
         assert!((outcome.shard_seconds() - 2.0).abs() < 1e-12, "1 shard x 2 s makespan");
         assert_eq!(outcome.arrivals_s, vec![0.0, 0.1]);
+        assert_eq!(outcome.offered(), 2);
+        assert!(outcome.shed.is_empty(), "no admission control, nothing sheds");
+        assert_eq!(outcome.shed_rate(), 0.0);
     }
 
     #[test]
@@ -824,6 +1229,8 @@ mod tests {
         assert_eq!(outcome.mean_batch_size(), 0.0);
         assert_eq!(outcome.shard_seconds(), 0.0);
         assert_eq!(outcome.max_in_flight(), 0);
+        assert_eq!(outcome.shed_rate(), 0.0);
+        assert_eq!(outcome.mean_recovery_s(), 0.0);
     }
 
     #[test]
@@ -960,6 +1367,199 @@ mod tests {
     }
 
     #[test]
+    fn bounded_queues_shed_and_cap_the_backlog() {
+        // Eight simultaneous arrivals against a bound of 2: the first two
+        // admit, the rest shed with the sentinel latency — and the shed
+        // requests never occupy the queue or a shard.
+        let stream: Vec<Request> = (0..8).map(|i| request(i, 0.0, 0)).collect();
+        let costs = unit_costs();
+        let groups = tile16_fleet(1);
+        let cfg = ServeConfig::new(Policy::Fifo, &groups, DispatchKind::LeastLoaded, &costs)
+            .with_queue_bound(2);
+        let outcome = simulate_stream_config(&stream, &cfg);
+        assert_eq!(outcome.offered(), 8);
+        assert_eq!(outcome.requests(), 2, "bound 2 admits exactly two simultaneous arrivals");
+        assert_eq!(outcome.shed, vec![2, 3, 4, 5, 6, 7]);
+        assert_eq!(outcome.shed_queue, 6);
+        assert_eq!(outcome.shed_limit, 0);
+        assert!((outcome.shed_rate() - 0.75).abs() < 1e-12);
+        assert!(outcome.queue_depth_max <= 2, "the bound caps the backlog");
+        for &id in &outcome.shed {
+            assert_eq!(outcome.latencies_s[id], SHED_LATENCY_S);
+        }
+        // Served-only metrics ignore the sentinel.
+        assert!(outcome.latency_percentile_s(99.0) <= 2.0 + 1e-12);
+        assert_eq!(outcome.max_in_flight(), 2);
+        let sum: u64 = outcome.shard_stats.iter().map(|s| s.requests).sum();
+        assert_eq!(sum as usize + outcome.shed.len(), outcome.offered(), "exactly-once");
+    }
+
+    #[test]
+    fn tenant_rate_limits_bound_admitted_throughput() {
+        // One tenant limited to 1 rps (burst = 1 token): of ten arrivals
+        // over 0.9 s only the first fits — the bucket refills too slowly
+        // for the rest.
+        let mix = TenantMix::new(vec![TenantSpec {
+            name: "free".to_string(),
+            weight: 1.0,
+            rate_limit_rps: Some(1.0),
+            slo_s: None,
+        }]);
+        let stream: Vec<Request> = (0..10).map(|i| request(i, 0.1 * i as f64, 0)).collect();
+        let costs = unit_costs();
+        let groups = tile16_fleet(4);
+        let cfg = ServeConfig::new(Policy::Fifo, &groups, DispatchKind::LeastLoaded, &costs)
+            .with_tenants(&mix);
+        let outcome = simulate_stream_config(&stream, &cfg);
+        assert_eq!(outcome.requests(), 1);
+        assert_eq!(outcome.shed_limit, 9);
+        assert_eq!(outcome.shed_queue, 0);
+        assert_eq!(outcome.tenant_outcomes.len(), 1);
+        assert_eq!(outcome.tenant_outcomes[0].name, "free");
+        assert_eq!(outcome.tenant_outcomes[0].offered, 10);
+        assert_eq!(outcome.tenant_outcomes[0].shed, 9);
+        // The general bound: admitted <= burst + rate x elapsed.
+        let admitted = outcome.requests() as f64;
+        assert!(admitted <= 1.0 + 1.0 * 0.9 + 1e-9);
+    }
+
+    #[test]
+    fn closed_loops_bypass_admission() {
+        // A queue bound of zero would shed every open-loop arrival; the
+        // closed loop's clients instead just wait their turn.
+        let workload = Workload::Closed(ClosedLoopSpec {
+            clients: 2,
+            think_s: 0.0,
+            duration_s: 5.0,
+            mix_size: 1,
+            shrinks: vec![1],
+            seed: 3,
+        });
+        let costs = unit_costs();
+        let groups = tile16_fleet(1);
+        let cfg = ServeConfig::new(Policy::Fifo, &groups, DispatchKind::LeastLoaded, &costs)
+            .with_queue_bound(0);
+        let outcome = simulate_config(&workload, &cfg);
+        assert!(outcome.requests() > 0);
+        assert!(outcome.shed.is_empty(), "closed-loop clients are never shed");
+    }
+
+    #[test]
+    fn crashes_redispatch_in_flight_work_exactly_once() {
+        // Two 10 s requests occupy both shards from t=0; one crash lands
+        // somewhere in [0, 1) and its victim's request re-dispatches on
+        // the survivor — every request still completes exactly once.
+        let stream = [request(0, 0.0, 0), request(1, 0.0, 0)];
+        let mut costs = unit_costs();
+        let fp = costs.register(&ChipConfig::tile_16());
+        costs.insert(
+            &fp,
+            RequestClass { dataset: 2, shrink: 1 },
+            ClassCost { cycles: 10_000_000_000, flops: 100 },
+        );
+        let stream = [
+            Request { class: RequestClass { dataset: 2, shrink: 1 }, ..stream[0] },
+            Request { class: RequestClass { dataset: 2, shrink: 1 }, ..stream[1] },
+        ];
+        let faults = FaultSpec::new(11, 1.0).with_crashes(1);
+        let groups = tile16_fleet(2);
+        let cfg = ServeConfig::new(Policy::Fifo, &groups, DispatchKind::LeastLoaded, &costs)
+            .with_faults(&faults);
+        let outcome = simulate_stream_config(&stream, &cfg);
+        assert_eq!(outcome.crash_events.len(), 1);
+        let crash = outcome.crash_events[0];
+        assert!(crash.at_s < 1.0);
+        assert_eq!(crash.redispatched, 1, "the victim was mid-batch");
+        assert_eq!(outcome.requests(), 2, "both requests still complete");
+        assert!(outcome.shed.is_empty(), "admitted work is never shed");
+        assert!(outcome.latencies_s.iter().all(|&l| l >= 0.0));
+        let sum: u64 = outcome.shard_stats.iter().map(|s| s.requests).sum();
+        assert_eq!(sum, 2, "the crashed dispatch was retracted from the books");
+        // The redispatched request waited for the survivor: latency > 10 s.
+        assert!(outcome.latencies_s.iter().any(|&l| l > 10.0));
+        // Determinism: the sentinel-free outcome compares bit-for-bit.
+        assert_eq!(outcome, simulate_stream_config(&stream, &cfg));
+    }
+
+    #[test]
+    fn failed_provisioning_keeps_the_fleet_small_and_counts() {
+        let stream: Vec<Request> = (0..20).map(|i| request(i, 0.0, 0)).collect();
+        let policy = AutoscalePolicy::new(1, 4)
+            .with_check_interval_s(0.5)
+            .with_provision_delay_s(1.0)
+            .with_up_backlog_per_shard(2.0);
+        let costs = unit_costs();
+        let faults = FaultSpec::new(1, 1.0).with_provision_fail(1.0);
+        let groups = tile16_fleet(1);
+        let cfg = ServeConfig::new(Policy::Fifo, &groups, DispatchKind::LeastLoaded, &costs)
+            .with_autoscale(&policy)
+            .with_faults(&faults);
+        let outcome = simulate_stream_config(&stream, &cfg);
+        assert!(outcome.provision_failures > 0, "every scheduled scale-up failed");
+        assert!(outcome.scale_events.is_empty(), "no change ever landed");
+        assert_eq!(outcome.group_stats[0].peak_active, 1);
+        assert_eq!(outcome.requests(), 20, "the lone shard still drains the backlog");
+    }
+
+    #[test]
+    fn degraded_groups_serve_slower() {
+        let stream = [request(0, 0.0, 0)];
+        let costs = unit_costs();
+        let groups = tile16_fleet(1);
+        let faults = FaultSpec::new(1, 1.0).with_degraded(0, 2.0);
+        let cfg = ServeConfig::new(Policy::Fifo, &groups, DispatchKind::LeastLoaded, &costs)
+            .with_faults(&faults);
+        let outcome = simulate_stream_config(&stream, &cfg);
+        assert!((outcome.latencies_s[0] - 2.0).abs() < 1e-12, "2x multiplier on 1 s of service");
+        let healthy = sim(&stream, Policy::Fifo, 1, &costs);
+        assert!((healthy.latencies_s[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shaped_workloads_simulate_with_their_own_tenants() {
+        let shaped = ShapedStream {
+            base: StreamSpec {
+                arrival: ArrivalProcess::Poisson,
+                rps: 20.0,
+                duration_s: 2.0,
+                mix_size: 1,
+                shrinks: vec![1],
+                seed: 7,
+            },
+            shapes: vec![RateShape::Diurnal { cycles: 2.0, depth: 0.5 }],
+            tenants: Some(TenantMix::new(vec![
+                TenantSpec { name: "a".into(), weight: 1.0, rate_limit_rps: None, slo_s: None },
+                TenantSpec { name: "b".into(), weight: 1.0, rate_limit_rps: None, slo_s: None },
+            ])),
+        };
+        let workload = Workload::Shaped(shaped);
+        let outcome = simulate(
+            &workload,
+            Policy::Fifo,
+            &tile16_fleet(8),
+            DispatchKind::LeastLoaded,
+            None,
+            &unit_costs(),
+        );
+        assert!(outcome.requests() > 0);
+        assert_eq!(outcome.tenant_outcomes.len(), 2, "the stream's mix reaches the accounting");
+        assert!(outcome.tenants.contains(&1), "both tenants offer traffic");
+        let offered: u64 = outcome.tenant_outcomes.iter().map(|t| t.offered).sum();
+        assert_eq!(offered as usize, outcome.offered());
+        assert_eq!(
+            outcome,
+            simulate(
+                &workload,
+                Policy::Fifo,
+                &tile16_fleet(8),
+                DispatchKind::LeastLoaded,
+                None,
+                &unit_costs(),
+            )
+        );
+    }
+
+    #[test]
     fn records_carry_tails_groups_shards_and_cost() {
         let stream = [request(0, 0.0, 0), request(1, 0.1, 1)];
         let outcome = sim(&stream, Policy::Fifo, 2, &unit_costs());
@@ -972,6 +1572,10 @@ mod tests {
         assert!(summary.metric_value("throughput_rps").unwrap() > 0.0);
         assert!(summary.metric_value("shard_seconds").unwrap() > 0.0);
         assert!(summary.metric_value("max_in_flight").is_some());
+        assert_eq!(summary.metric_value("offered"), Some(2.0));
+        assert_eq!(summary.metric_value("shed_rate"), Some(0.0));
+        assert_eq!(summary.metric_value("crashes"), Some(0.0));
+        assert_eq!(summary.metric_value("provision_failures"), Some(0.0));
         assert_eq!(summary.params, params);
         assert_eq!(records[1].id, "serve/demo/group/t16");
         assert!(records[1].metric_value("utilization").is_some());
@@ -983,10 +1587,40 @@ mod tests {
     }
 
     #[test]
+    fn tenant_records_report_admission_and_slo_attainment() {
+        let mix = TenantMix::new(vec![TenantSpec {
+            name: "gold".to_string(),
+            weight: 1.0,
+            rate_limit_rps: None,
+            slo_s: Some(1.5),
+        }]);
+        let stream = [request(0, 0.0, 0), request(1, 0.0, 0)];
+        let costs = unit_costs();
+        let groups = tile16_fleet(1);
+        let cfg = ServeConfig::new(Policy::Fifo, &groups, DispatchKind::LeastLoaded, &costs)
+            .with_tenants(&mix);
+        let outcome = simulate_stream_config(&stream, &cfg);
+        let records = outcome.records("serve/demo", &[]);
+        let tenant = records.iter().find(|r| r.id == "serve/demo/tenant/gold").expect("present");
+        assert_eq!(tenant.metric_value("offered"), Some(2.0));
+        assert_eq!(tenant.metric_value("admitted"), Some(2.0));
+        // Latencies are 1.0 and 2.0 against a 1.5 s SLO: 50% attainment.
+        assert_eq!(tenant.metric_value("slo_attainment"), Some(0.5));
+        assert!(tenant.params.contains(&("tenant".to_string(), "gold".to_string())));
+    }
+
+    #[test]
     fn percentiles_are_nearest_rank() {
         let outcome = ServeOutcome {
-            latencies_s: vec![4.0, 1.0, 3.0, 2.0],
-            arrivals_s: vec![0.0; 4],
+            latencies_s: vec![4.0, 1.0, 3.0, 2.0, SHED_LATENCY_S],
+            arrivals_s: vec![0.0; 5],
+            tenants: vec![0; 5],
+            shed: vec![4],
+            shed_queue: 1,
+            shed_limit: 0,
+            tenant_outcomes: Vec::new(),
+            crash_events: Vec::new(),
+            provision_failures: 0,
             makespan_s: 4.0,
             queue_depth_mean: 0.0,
             queue_depth_max: 0,
@@ -996,9 +1630,13 @@ mod tests {
             group_stats: Vec::new(),
             scale_events: Vec::new(),
         };
-        assert_eq!(outcome.latency_percentile_s(50.0), 2.0);
+        assert_eq!(outcome.latency_percentile_s(50.0), 2.0, "the shed sentinel is excluded");
         assert_eq!(outcome.latency_percentile_s(75.0), 3.0);
         assert_eq!(outcome.latency_percentile_s(99.0), 4.0);
         assert_eq!(outcome.latency_percentile_s(100.0), 4.0);
+        assert_eq!(outcome.requests(), 4);
+        assert_eq!(outcome.offered(), 5);
+        assert!((outcome.shed_rate() - 0.2).abs() < 1e-12);
+        assert!((outcome.mean_latency_s() - 2.5).abs() < 1e-12);
     }
 }

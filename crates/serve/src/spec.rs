@@ -20,6 +20,7 @@ use crate::autoscale::AutoscalePolicy;
 use crate::dispatch::DispatchKind;
 use crate::fleet::ShardGroup;
 use crate::policy::Policy;
+use crate::scenario::ScenarioSpec;
 
 /// A named fleet composition: one or more shard groups under a stable ID.
 #[derive(Debug, Clone, PartialEq)]
@@ -332,6 +333,7 @@ impl ServeSweep {
                                 fleet: fleet.clone(),
                                 dispatch,
                                 autoscale: autoscale.clone(),
+                                scenario: None,
                                 seed,
                             });
                         }
@@ -361,6 +363,12 @@ pub struct ServeScenario {
     pub dispatch: DispatchKind,
     /// Autoscaler (`None` = fixed fleet).
     pub autoscale: Option<AutoscalePolicy>,
+    /// Library scenario this arm replays (`None` for plain sweep arms).
+    /// When set, [`Self::workload_spec`] wraps the open-loop stream in
+    /// the scenario's rate shapes and tenant mix, and the scenario's
+    /// queue bound and fault regime apply (the `serve` binary wires
+    /// those into the [`ServeConfig`](crate::sim::ServeConfig)).
+    pub scenario: Option<ScenarioSpec>,
     /// Workload seed (shared across every serving arm of this workload).
     pub seed: u64,
 }
@@ -396,6 +404,19 @@ impl ServeScenario {
                 format!("{:?}", autoscale.provision_delay_s * 1e3),
             ));
         }
+        if let Some(scenario) = &self.scenario {
+            params.push(("scenario".to_string(), scenario.name.to_string()));
+            params.push(("load".to_string(), format!("{:?}", scenario.load)));
+            if let Some(bound) = scenario.queue_bound {
+                params.push(("queue_bound".to_string(), bound.to_string()));
+            }
+            if let Some(tenants) = &scenario.tenants {
+                params.push(("tenants".to_string(), tenants.id()));
+            }
+            if let Some(fault) = scenario.fault_spec(self.seed, 1.0) {
+                params.push(("faults".to_string(), fault.id()));
+            }
+        }
         params.push(("seed".to_string(), self.seed.to_string()));
         params
     }
@@ -404,14 +425,20 @@ impl ServeScenario {
     /// are not swept (duration, mix size, request shrink classes).
     pub fn workload_spec(&self, duration_s: f64, mix_size: usize, shrinks: &[usize]) -> Workload {
         match &self.workload {
-            WorkloadAxis::Open { arrival, rps } => Workload::Open(StreamSpec {
-                arrival: *arrival,
-                rps: *rps,
-                duration_s,
-                mix_size,
-                shrinks: shrinks.to_vec(),
-                seed: self.seed,
-            }),
+            WorkloadAxis::Open { arrival, rps } => {
+                let base = StreamSpec {
+                    arrival: *arrival,
+                    rps: *rps,
+                    duration_s,
+                    mix_size,
+                    shrinks: shrinks.to_vec(),
+                    seed: self.seed,
+                };
+                match &self.scenario {
+                    Some(scenario) => Workload::Shaped(scenario.shaped(base)),
+                    None => Workload::Open(base),
+                }
+            }
             WorkloadAxis::Closed { clients, think_s } => Workload::Closed(ClosedLoopSpec {
                 clients: *clients,
                 think_s: *think_s,
@@ -530,7 +557,7 @@ mod tests {
                 assert_eq!(stream.mix_size, 3);
                 assert_eq!(stream.shrinks, vec![1, 2]);
             }
-            Workload::Closed(_) => panic!("default sweeps are open-loop"),
+            _ => panic!("default sweeps are plain open-loop"),
         }
         let sweep = ServeSweep::new().closed_clients([32]).think_s(0.002);
         let closed = sweep
@@ -544,7 +571,30 @@ mod tests {
                 assert!((spec.think_s - 0.002).abs() < 1e-12);
                 assert_eq!(spec.seed, closed.seed);
             }
-            Workload::Open(_) => panic!("expected the closed arm"),
+            _ => panic!("expected the closed arm"),
         }
+    }
+
+    #[test]
+    fn scenario_arms_wrap_the_stream_and_report_their_params() {
+        let mut arm = ServeSweep::new().scenarios("serve", 7).remove(0);
+        arm.scenario = ScenarioSpec::by_name("tenants");
+        match arm.workload_spec(2.0, 3, &[1]) {
+            Workload::Shaped(shaped) => {
+                assert_eq!(shaped.base.seed, arm.seed);
+                assert!(shaped.tenants.is_some(), "the mix travels with the stream");
+            }
+            _ => panic!("scenario arms are shaped"),
+        }
+        let params = arm.params();
+        assert!(params.contains(&("scenario".into(), "tenants".into())));
+        assert!(params.contains(&("load".into(), "1.5".into())));
+        assert!(params.contains(&("queue_bound".into(), "64".into())));
+        assert!(params.iter().any(|(k, _)| k == "tenants"));
+        assert!(!params.iter().any(|(k, _)| k == "faults"), "tenants arm is fault-free");
+
+        arm.scenario = ScenarioSpec::by_name("crash");
+        let params = arm.params();
+        assert!(params.contains(&("faults".into(), "crash2".into())));
     }
 }

@@ -72,6 +72,13 @@ serve-paper:
     cargo run --release -q -p neura_bench --bin serve -- --json
     ls -l target/artifacts/serve.json
 
+# The scenario-library and failure-injection property suites alone:
+# pinned load-shedding, tenant rate-limit, crash/recovery and
+# thread-invariance properties (part of `just test`, split out for a
+# fast signal while iterating on the serving layer).
+scenarios:
+    cargo test -p neura_serve --test scenario_properties --test fault_properties
+
 # Diff two artifact files or directories (e.g. a saved copy of
 # target/artifacts/ against a fresh run): per-metric absolute/relative
 # deltas. Add flags via just trend a b "--fail-above 2".
