@@ -40,6 +40,10 @@
 //! - `--fault SPEC` — a fault regime like `crash2+pf0.5+deg0x3.0` injected
 //!   into the plain arms (seed-derived crash times, provisioning failure
 //!   probability, degraded-group service multipliers)
+//! - `--trace [PATH]` — record every scenario's request lifecycle and
+//!   emit a windowed `neura_lab.timeline/v1` artifact beside the run
+//!   artifact (default `target/artifacts/timeline.json`); `--window-ms X`
+//!   fixes the window width (default: 1/50th of the horizon)
 //!
 //! Without fleet/dispatch/clients/autoscale flags, three comparison arms
 //! ride along with the classic shard-scaling sweep: a heterogeneous
@@ -61,12 +65,12 @@ use neura_bench::{fmt, print_table, sim_matrix_at_fidelity};
 use neura_chip::accelerator::Accelerator;
 use neura_chip::config::{ChipConfig, TileSize};
 use neura_lab::spec::derive_seed;
-use neura_lab::{ArtifactSession, RunRecord, Runner};
+use neura_lab::{Artifact, ArtifactSession, RunRecord, Runner, TIMELINE_SCHEMA};
 use neura_serve::policy::{DEFAULT_BATCH_TIMEOUT_S, DEFAULT_MAX_BATCH};
 use neura_serve::{
-    simulate_config, ArrivalProcess, AutoscalePolicy, ClassCost, CostTable, DispatchKind,
-    FaultSpec, FleetMix, Policy, RequestClass, ScenarioSpec, ServeConfig, ServeScenario,
-    ServeSweep, ShapedStream, TenantMix, TenantSpec, Workload,
+    simulate_config, simulate_config_traced, ArrivalProcess, AutoscalePolicy, ClassCost, CostTable,
+    DispatchKind, FaultSpec, FleetMix, Policy, RequestClass, ScenarioSpec, ServeConfig,
+    ServeScenario, ServeSweep, ShapedStream, TenantMix, TenantSpec, Timeline, Workload,
 };
 use neura_sparse::DatasetCatalog;
 
@@ -87,6 +91,7 @@ fn usage() -> String {
      \x20            [--autoscale MIN:MAX] [--provision-ms X] [--check-ms X]\n\
      \x20            [--duration S] [--dataset NAME]... [--max-batch N] [--batch-timeout-ms X]\n\
      \x20            [--scenario NAME]... [--queue-bound N] [--tenant SPEC]... [--fault SPEC]\n\
+     \x20            [--trace [PATH]] [--window-ms X]\n\
      \n\
      --json [PATH]         write a machine-readable artifact (default: target/artifacts/serve.json)\n\
      --arrival A           poisson | bursty (repeatable; default: poisson)\n\
@@ -114,6 +119,9 @@ fn usage() -> String {
      --tenant SPEC         tenant as name:weight[:limit_rps[:slo_ms]] (repeatable; wraps the\n\
      \x20                    plain open arms in a multi-tenant mix; 0 = no limit / no SLO)\n\
      --fault SPEC          fault regime for the plain arms, e.g. crash2+pf0.5+deg0x3.0\n\
+     --trace [PATH]        record request lifecycles and write a windowed neura_lab.timeline/v1\n\
+     \x20                    artifact (default: target/artifacts/timeline.json)\n\
+     --window-ms X         timeline window width (default: 1/50th of the horizon)\n\
      scenario library:"
         .to_string();
     for sc in ScenarioSpec::library() {
@@ -143,6 +151,9 @@ struct Args {
     queue_bound: Option<usize>,
     tenants: Vec<TenantSpec>,
     fault: Option<String>,
+    trace: bool,
+    trace_path: Option<String>,
+    window_ms: Option<f64>,
     passthrough: Vec<String>,
 }
 
@@ -168,6 +179,9 @@ fn parse_args() -> Args {
         queue_bound: None,
         tenants: Vec::new(),
         fault: None,
+        trace: false,
+        trace_path: None,
+        window_ms: None,
         passthrough: Vec::new(),
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -329,6 +343,19 @@ fn parse_args() -> Args {
                     ));
                 }
                 parsed.fault = Some(raw);
+            }
+            "--trace" => {
+                parsed.trace = true;
+                if matches!(args.peek(), Some(next) if !next.starts_with("--")) {
+                    parsed.trace_path = Some(args.next().expect("peeked"));
+                }
+            }
+            "--window-ms" => {
+                let raw = value("--window-ms");
+                parsed.window_ms = Some(match raw.parse::<f64>() {
+                    Ok(w) if w.is_finite() && w > 0.0 => w,
+                    _ => bad_usage(&format!("--window-ms {raw:?} is not a positive width")),
+                });
             }
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -614,8 +641,13 @@ fn main() {
     }
 
     // Replay every scenario on the runner; results collect in sweep order,
-    // so the artifact is byte-identical for any NEURA_LAB_THREADS.
+    // so the artifact is byte-identical for any NEURA_LAB_THREADS. With
+    // --trace, each replay additionally records its lifecycle trace and
+    // folds it into a windowed timeline *inside* the worker — the bulky
+    // per-event trace never outlives its scenario — and without the flag
+    // the untraced entry point runs, so tracing costs nothing when off.
     let mix_len = args.mix.len();
+    let window_s = args.window_ms.map(|ms| ms / 1e3).unwrap_or(duration_s / 50.0);
     let cli_tenants = (!args.tenants.is_empty()).then(|| TenantMix::new(args.tenants.clone()));
     let outcomes = runner.run(&scenarios, |_, scenario: &ServeScenario| {
         let mut workload = scenario.workload_spec(duration_s, mix_len, &REQUEST_SHRINKS);
@@ -639,11 +671,19 @@ fn main() {
         cfg.queue_bound =
             scenario.scenario.as_ref().and_then(|sc| sc.queue_bound).or(args.queue_bound);
         cfg.faults = fault.as_ref();
-        simulate_config(&workload, &cfg)
+        if args.trace {
+            let (outcome, trace) = simulate_config_traced(&workload, &cfg);
+            let timeline = Timeline::build(&trace, &outcome, window_s);
+            (outcome, Some(timeline))
+        } else {
+            (simulate_config(&workload, &cfg), None)
+        }
     });
 
+    let mut timeline_artifact =
+        Artifact::new("serve", neura_bench::scale_multiplier()).with_schema(TIMELINE_SCHEMA);
     let mut rows = Vec::new();
-    for (scenario, outcome) in scenarios.iter().zip(&outcomes) {
+    for (scenario, (outcome, timeline)) in scenarios.iter().zip(&outcomes) {
         let shard_seconds = outcome.shard_seconds();
         let busy: f64 = outcome.group_stats.iter().map(|g| g.busy_s).sum();
         let util = if shard_seconds > 0.0 { busy / shard_seconds } else { 0.0 };
@@ -664,6 +704,9 @@ fn main() {
         params.push(("mix".to_string(), args.mix.join("+")));
         params.push(("duration_s".to_string(), format!("{duration_s:?}")));
         session.extend(outcome.records(&scenario.id, &params));
+        if let Some(timeline) = timeline {
+            timeline_artifact.extend(timeline.records(&scenario.id, &params));
+        }
     }
 
     print_table(
@@ -696,6 +739,18 @@ fn main() {
         mix_len,
         work.len(),
     );
+
+    if args.trace {
+        let path = args
+            .trace_path
+            .as_deref()
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| Artifact::default_path("timeline"));
+        timeline_artifact
+            .write(&path)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("wrote {} ({} records)", path.display(), timeline_artifact.records.len());
+    }
 
     session.finish();
 }

@@ -12,12 +12,18 @@
 //! - `--fail-above PCT` — exit non-zero when any metric's relative delta
 //!   exceeds `PCT` percent in magnitude, or when a metric/file exists on
 //!   only one side (`--fail-above 0` fails on any change at all)
+//!
+//! `neura_lab.timeline/v1` artifacts diff like any other — per-window
+//! records match by ID, so per-window deltas come out of the same table —
+//! and additionally print a per-scope worst-window p99 before/after
+//! headline, the number a windowed comparison is usually run for.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use neura_bench::{fmt, print_table};
 use neura_lab::trend::{self, TrendReport};
+use neura_lab::Artifact;
 
 fn usage() -> String {
     "usage: trend [--fail-above PCT] BEFORE AFTER\n\
@@ -73,14 +79,16 @@ fn main() -> ExitCode {
         println!("only on one side: {path}");
     }
     for (label, before_path, after_path) in &pairs {
-        let report = match (trend::load_artifact(before_path), trend::load_artifact(after_path)) {
-            (Ok(b), Ok(a)) => trend::diff(&b, &a),
+        let (b, a) = match (trend::load_artifact(before_path), trend::load_artifact(after_path)) {
+            (Ok(b), Ok(a)) => (b, a),
             (Err(e), _) | (_, Err(e)) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
         };
+        let report = trend::diff(&b, &a);
         print_report(label, &report);
+        print_worst_windows(label, &b, &a);
         changed_total += report.changed().len();
         one_sided_metrics += report.only_in_before.len() + report.only_in_after.len();
         if let Some(pct) = fail_above {
@@ -201,6 +209,18 @@ fn print_report(label: &str, report: &TrendReport) {
     }
     for path in &report.only_in_after {
         println!("{label}: metric only in AFTER: {path}");
+    }
+}
+
+/// Timeline artifacts carry a per-scope worst-window p99 — the headline a
+/// windowed diff is usually run for — so print it next to the per-metric
+/// table. Prints nothing for plain run artifacts.
+fn print_worst_windows(label: &str, before: &Artifact, after: &Artifact) {
+    let after_worst = trend::worst_window_p99s(after);
+    for (scope, b) in trend::worst_window_p99s(before) {
+        if let Some((_, a)) = after_worst.iter().find(|(s, _)| *s == scope) {
+            println!("{label}: worst-window p99 [{scope}]: {} -> {} ms", fmt(b, 4), fmt(*a, 4));
+        }
     }
 }
 

@@ -324,6 +324,117 @@ fn all_binaries_run_and_emit_parseable_artifacts() {
     );
 }
 
+/// The traced serve run: `--trace` adds a `neura_lab.timeline/v1`
+/// artifact that is byte-identical across `NEURA_LAB_THREADS`, leaves the
+/// `serve.json` bytes exactly as an untraced run writes them (tracing is
+/// pure observation), respects the windowing invariant (every scenario's
+/// worst-window p99 at least matches — and on the flash/crash arms
+/// strictly exceeds — the run-aggregate p99), recovers no faster than the
+/// provisioning delay, and passes the `timeline` binary's checks.
+#[test]
+fn traced_serve_emits_a_thread_invariant_timeline() {
+    let json_dir =
+        std::env::temp_dir().join(format!("neura_bench_serve_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&json_dir).expect("create artifact dir");
+
+    let serve = |label: &str, threads: &str, trace: Option<&Path>| {
+        let path = json_dir.join(format!("serve_{label}.json"));
+        let mut command = Command::new(env!("CARGO_BIN_EXE_serve"));
+        command
+            .arg("--json")
+            .arg(&path)
+            .env(neura_bench::SCALE_MULT_ENV, SMOKE_MULT)
+            .env("NEURA_LAB_THREADS", threads);
+        if let Some(trace_path) = trace {
+            command.arg("--trace").arg(trace_path);
+        }
+        let output = command.output().expect("spawn serve");
+        assert!(
+            output.status.success(),
+            "serve ({label}) failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        std::fs::read_to_string(&path).expect("serve artifact written")
+    };
+
+    let timeline_two = json_dir.join("timeline_t2.json");
+    let timeline_eight = json_dir.join("timeline_t8.json");
+    let untraced = serve("plain", "2", None);
+    let traced_two = serve("t2", "2", Some(&timeline_two));
+    let traced_eight = serve("t8", "8", Some(&timeline_eight));
+    assert_eq!(untraced, traced_two, "tracing must not perturb the serve artifact");
+    assert_eq!(traced_two, traced_eight);
+    let timeline_bytes = std::fs::read_to_string(&timeline_two).expect("timeline written");
+    assert_eq!(
+        timeline_bytes,
+        std::fs::read_to_string(&timeline_eight).expect("timeline written"),
+        "timeline artifact bytes depend on the thread count"
+    );
+
+    let artifact = Artifact::from_json(&parse_json(&timeline_bytes).expect("timeline parses"))
+        .expect("timeline follows the artifact schema");
+    assert_eq!(artifact.schema, neura_lab::TIMELINE_SCHEMA);
+    let summaries: Vec<_> = artifact
+        .records
+        .iter()
+        .filter_map(|r| r.id.strip_suffix("/timeline").map(|scope| (scope, r)))
+        .collect();
+    assert!(!summaries.is_empty(), "the timeline artifact names no traced scenarios");
+    for (scope, record) in &summaries {
+        let worst = record.metric_value("worst_window_p99_ms").expect("worst-window p99");
+        let aggregate = record.metric_value("aggregate_p99_ms").expect("aggregate p99");
+        assert!(
+            worst >= aggregate,
+            "{scope}: worst-window p99 {worst} ms undercuts the aggregate {aggregate} ms"
+        );
+        // The dynamic arms are why the timeline exists: the spike the
+        // aggregate hides must be strictly visible in the worst window.
+        if scope.contains("scn-flash") || scope.contains("scn-crash") {
+            assert!(
+                worst > aggregate,
+                "{scope}: worst-window p99 {worst} ms does not rise above the aggregate"
+            );
+        }
+        if scope.contains("scn-crash") && record.metric_value("recoveries").unwrap_or(0.0) >= 1.0 {
+            let recovery_ms = record.metric_value("recovery_time_ms").unwrap_or(0.0);
+            let delay_ms: f64 = record
+                .params
+                .iter()
+                .find(|(k, _)| k == "provision_delay_ms")
+                .and_then(|(_, v)| v.parse().ok())
+                .expect("the crash timeline carries the provisioning delay param");
+            assert!(
+                recovery_ms >= delay_ms - 1e-9,
+                "{scope}: recovery ({recovery_ms} ms) outpaced provisioning ({delay_ms} ms)"
+            );
+        }
+    }
+    assert!(
+        artifact.records.iter().any(|r| r.id.contains("/window/")),
+        "the timeline artifact has no per-window records"
+    );
+
+    let timeline = Command::new(env!("CARGO_BIN_EXE_timeline"))
+        .arg(&timeline_two)
+        .output()
+        .expect("spawn timeline");
+    let stdout = String::from_utf8_lossy(&timeline.stdout);
+    assert!(
+        timeline.status.success(),
+        "the timeline binary rejected a fresh artifact:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&timeline.stderr)
+    );
+    assert!(stdout.contains("Timeline:"), "unexpected timeline output:\n{stdout}");
+    // Pointing it at the (plain-schema) serve artifact must fail loudly.
+    let wrong = Command::new(env!("CARGO_BIN_EXE_timeline"))
+        .arg(json_dir.join("serve_plain.json"))
+        .output()
+        .expect("spawn timeline");
+    assert!(!wrong.status.success(), "a plain run artifact is not a timeline");
+
+    std::fs::remove_dir_all(&json_dir).ok();
+}
+
 /// The serve artifact is byte-identical across `NEURA_LAB_THREADS`
 /// settings; the `trend` binary reports zero delta (exit 0 with
 /// `--fail-above 0`) when diffing an artifact against itself, and its

@@ -58,7 +58,9 @@ pub mod spec;
 pub mod trend;
 pub mod tune;
 
-pub use report::{fmt, parse_json, print_table, Artifact, JsonValue, Metric, RunRecord};
+pub use report::{
+    fmt, parse_json, print_table, Artifact, JsonValue, Metric, RunRecord, SCHEMA, TIMELINE_SCHEMA,
+};
 pub use runner::Runner;
 pub use spec::{ExperimentSpec, SweepGrid, SweepPoint};
 pub use trend::{MetricDelta, TrendReport};

@@ -19,6 +19,14 @@ use std::path::{Path, PathBuf};
 /// schema changes. Bump when the shape of the emitted JSON changes.
 pub const SCHEMA: &str = "neura_lab.artifact/v1";
 
+/// Schema tag for windowed timeline artifacts (the telemetry layer's
+/// time-series view of one run). The document *shape* is identical to
+/// [`SCHEMA`] — records with params and metrics — but the record IDs
+/// follow the `{scope}/timeline` + `{scope}/window/NNN` convention and
+/// the file lands beside the run artifact (e.g. `timeline.json` next to
+/// `serve.json`), so tooling uses the tag to tell the two apart.
+pub const TIMELINE_SCHEMA: &str = "neura_lab.timeline/v1";
+
 /// Directory (relative to the working directory) where artifacts land when
 /// `--json` is given without an explicit path.
 pub const ARTIFACT_DIR: &str = "target/artifacts";
@@ -494,6 +502,9 @@ impl RunRecord {
 /// A full artifact: every record one binary emitted in one invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Artifact {
+    /// The document's schema tag ([`SCHEMA`] for run artifacts,
+    /// [`TIMELINE_SCHEMA`] for windowed timelines).
+    pub schema: String,
     /// Name of the emitting binary (`"fig16"`, `"table5"`, …).
     pub bin: String,
     /// The [`crate::scale_multiplier`] the run used (1 = paper scale).
@@ -505,7 +516,14 @@ pub struct Artifact {
 impl Artifact {
     /// Creates an empty artifact for a binary at the given scale multiplier.
     pub fn new(bin: impl Into<String>, scale_mult: usize) -> Self {
-        Artifact { bin: bin.into(), scale_mult, records: Vec::new() }
+        Artifact { schema: SCHEMA.into(), bin: bin.into(), scale_mult, records: Vec::new() }
+    }
+
+    /// Retags the artifact with a different schema (builder style) — used
+    /// for [`TIMELINE_SCHEMA`] documents, which share the record shape.
+    pub fn with_schema(mut self, schema: &str) -> Self {
+        self.schema = schema.into();
+        self
     }
 
     /// Appends one record.
@@ -526,7 +544,7 @@ impl Artifact {
     /// Converts to the JSON document model.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::Object(vec![
-            ("schema".into(), JsonValue::String(SCHEMA.into())),
+            ("schema".into(), JsonValue::String(self.schema.clone())),
             ("bin".into(), JsonValue::String(self.bin.clone())),
             ("scale_mult".into(), JsonValue::Number(self.scale_mult as f64)),
             (
@@ -582,8 +600,10 @@ impl Artifact {
     /// schema can grow additively.
     pub fn from_json(doc: &JsonValue) -> Result<Self, String> {
         let schema = doc.get("schema").and_then(JsonValue::as_str).unwrap_or_default();
-        if schema != SCHEMA {
-            return Err(format!("unsupported schema {schema:?} (expected {SCHEMA:?})"));
+        if schema != SCHEMA && schema != TIMELINE_SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?} (expected {SCHEMA:?} or {TIMELINE_SCHEMA:?})"
+            ));
         }
         let bin = doc.get("bin").and_then(JsonValue::as_str).ok_or("missing \"bin\"")?.to_string();
         let scale_mult =
@@ -620,7 +640,7 @@ impl Artifact {
             }
             records.push(record);
         }
-        Ok(Artifact { bin, scale_mult, records })
+        Ok(Artifact { schema: schema.to_string(), bin, scale_mult, records })
     }
 
     /// The serialised bytes of this artifact (what [`Self::write`] puts on

@@ -98,6 +98,12 @@ impl TrendReport {
 /// Compares two artifacts metric-by-metric.
 pub fn diff(before: &Artifact, after: &Artifact) -> TrendReport {
     let mut report = TrendReport::default();
+    if before.schema != after.schema {
+        report.warnings.push(format!(
+            "comparing artifacts of different schemas ({:?} vs {:?})",
+            before.schema, after.schema
+        ));
+    }
     if before.bin != after.bin {
         report.warnings.push(format!(
             "comparing artifacts of different binaries ({:?} vs {:?})",
@@ -133,6 +139,22 @@ pub fn diff(before: &Artifact, after: &Artifact) -> TrendReport {
         }
     }
     report
+}
+
+/// The worst-window p99s a timeline artifact carries: one
+/// `(scope, worst_window_p99_ms)` pair per `{scope}/timeline` summary
+/// record, in emission order. Empty for plain run artifacts, so callers
+/// can use it to print a timeline-specific headline only when there is
+/// one.
+pub fn worst_window_p99s(artifact: &Artifact) -> Vec<(String, f64)> {
+    artifact
+        .records
+        .iter()
+        .filter_map(|r| {
+            let scope = r.id.strip_suffix("/timeline")?;
+            r.metric_value("worst_window_p99_ms").map(|v| (scope.to_string(), v))
+        })
+        .collect()
 }
 
 /// Reads and parses one artifact file.
@@ -219,6 +241,29 @@ mod tests {
         let report = diff(&before, &after);
         assert_eq!(report.warnings.len(), 2);
         assert!(report.is_identical(), "warnings do not make values differ");
+    }
+
+    #[test]
+    fn schema_mismatches_warn_and_timeline_summaries_surface() {
+        use crate::report::TIMELINE_SCHEMA;
+        let mut timeline = Artifact::new("serve", 1).with_schema(TIMELINE_SCHEMA);
+        timeline.push(RunRecord::new("flash/timeline").metric("windows", 50.0).unit_metric(
+            "worst_window_p99_ms",
+            420.0,
+            "ms",
+        ));
+        timeline.push(RunRecord::new("flash/window/000").metric("served", 10.0));
+        assert_eq!(worst_window_p99s(&timeline), vec![("flash".to_string(), 420.0)]);
+        assert!(worst_window_p99s(&artifact(1.0, false)).is_empty());
+
+        let report = diff(&artifact(1.0, false), &timeline);
+        assert!(
+            report.warnings.iter().any(|w| w.contains("different schemas")),
+            "schema mismatch warns: {:?}",
+            report.warnings
+        );
+        let round_trip = Artifact::from_json(&timeline.to_json()).unwrap();
+        assert_eq!(round_trip, timeline, "timeline schema round-trips");
     }
 
     #[test]

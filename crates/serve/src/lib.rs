@@ -50,6 +50,16 @@
 //!    as `neura_lab` `RunRecord`s. A [`ServeConfig`] carries the
 //!    admission-control and fault knobs alongside the classic
 //!    policy/fleet/dispatch/autoscale axes.
+//! 10. **[`telemetry`]** — deterministic observability: the `*_traced`
+//!     replay entry points record a [`Trace`] of per-request lifecycle
+//!     events (arrival → admit/shed → dispatch → completion, plus
+//!     crash/scale/provisioning events), a mergeable log-bucketed
+//!     [`LatencyHistogram`] bounds percentile error at 1/256, and a
+//!     windowed [`Timeline`] replays the trace into fixed-interval
+//!     samples of queue depth, in-flight, shed rate, per-group
+//!     utilisation, per-tenant throughput and sliding p50/p99 — emitted
+//!     as `neura_lab.timeline/v1` artifacts. Tracing is opt-in and costs
+//!     nothing when off.
 //!
 //! On top sits **[`spec`]**: a [`ServeSweep`] enumerates workload × fleet
 //! mix × dispatch × autoscaler × policy scenarios with stable IDs and
@@ -70,6 +80,7 @@ pub mod policy;
 pub mod scenario;
 pub mod sim;
 pub mod spec;
+pub mod telemetry;
 
 pub use arrivals::{ArrivalProcess, ClosedLoopSpec, Request, StreamSpec, Workload};
 pub use autoscale::{AutoscalePolicy, ScaleEvent};
@@ -80,7 +91,10 @@ pub use fleet::{GroupStats, ShardFleet, ShardGroup, ShardStats};
 pub use policy::Policy;
 pub use scenario::{RateShape, ScenarioSpec, ShapedStream, TenantMix, TenantSpec};
 pub use sim::{
-    simulate, simulate_config, simulate_stream, simulate_stream_config, ServeConfig, ServeOutcome,
-    TenantOutcome, SHED_LATENCY_S,
+    simulate, simulate_config, simulate_config_traced, simulate_stream, simulate_stream_config,
+    simulate_stream_config_traced, ServeConfig, ServeOutcome, TenantOutcome, SHED_LATENCY_S,
 };
 pub use spec::{FleetMix, ServeScenario, ServeSweep, WorkloadAxis};
+pub use telemetry::{
+    LatencyHistogram, ShedReason, Timeline, Trace, TraceEvent, WindowStats, RELATIVE_ERROR_BOUND,
+};

@@ -42,6 +42,7 @@ use crate::fault::{CrashEvent, FaultPlan, FaultSpec};
 use crate::fleet::{GroupStats, ShardFleet, ShardGroup, ShardStats};
 use crate::policy::Policy;
 use crate::scenario::{TenantMix, TENANT_BURST_S};
+use crate::telemetry::{ShedReason, Trace, TraceEvent, TraceGroup, TraceTenant};
 
 /// The latency sentinel a shed request carries in
 /// [`ServeOutcome::latencies_s`]. Deliberately a *finite* negative value —
@@ -49,6 +50,41 @@ use crate::scenario::{TenantMix, TENANT_BURST_S};
 /// suite can keep asserting byte-for-byte equality. Served-only metrics
 /// filter on `latency >= 0.0`.
 pub const SHED_LATENCY_S: f64 = -1.0;
+
+/// Nearest-rank percentiles in seconds over served latencies — the one
+/// percentile implementation every outcome metric goes through. Shed
+/// requests are excluded by matching the [`SHED_LATENCY_S`] sentinel
+/// exactly, *not* by a silent `>= 0` range filter: any other negative
+/// (or non-finite) latency is a simulation bug, so it trips the debug
+/// assertion here and the sort's finiteness check in release builds
+/// instead of quietly vanishing from the tail. Returns 0 for every
+/// percentile when nothing was served.
+///
+/// # Panics
+///
+/// Panics unless every percentile is within `(0, 100]`.
+fn served_percentiles(latencies: impl Iterator<Item = f64>, pcts: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = latencies
+        .filter(|&l| {
+            debug_assert!(
+                l >= 0.0 || l == SHED_LATENCY_S,
+                "latency {l} is neither served nor the shed sentinel"
+            );
+            l != SHED_LATENCY_S
+        })
+        .collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    pcts.iter()
+        .map(|&pct| {
+            assert!(pct > 0.0 && pct <= 100.0, "percentile must be within (0, 100]");
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let rank = (pct / 100.0 * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        })
+        .collect()
+}
 
 /// Per-tenant admission accounting (populated only when a tenant mix is
 /// configured).
@@ -179,18 +215,15 @@ impl ServeOutcome {
     ///
     /// Panics unless every percentile is within `(0, 100]`.
     pub fn latency_percentiles_s(&self, pcts: &[f64]) -> Vec<f64> {
-        let mut sorted: Vec<f64> = self.latencies_s.iter().copied().filter(|&l| l >= 0.0).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        pcts.iter()
-            .map(|&pct| {
-                assert!(pct > 0.0 && pct <= 100.0, "percentile must be within (0, 100]");
-                if sorted.is_empty() {
-                    return 0.0;
-                }
-                let rank = (pct / 100.0 * sorted.len() as f64).ceil() as usize;
-                sorted[rank.clamp(1, sorted.len()) - 1]
-            })
-            .collect()
+        served_percentiles(self.latencies_s.iter().copied(), pcts)
+    }
+
+    /// Latencies that are neither served (`>= 0`) nor the shed sentinel —
+    /// always 0 for a correct simulation. Exposed so suites can assert the
+    /// invariant directly instead of having broken values silently
+    /// filtered out of the percentiles.
+    pub fn invalid_latencies(&self) -> usize {
+        self.latencies_s.iter().filter(|&&l| !(l >= 0.0 || l == SHED_LATENCY_S)).count()
     }
 
     /// Mean served latency in seconds (0 when nothing was served).
@@ -315,20 +348,14 @@ impl ServeOutcome {
         summary.params = params.to_vec();
         let mut records = vec![summary];
         for (t, tenant) in self.tenant_outcomes.iter().enumerate() {
-            let mut served: Vec<f64> = self
+            let served: Vec<f64> = self
                 .tenants
                 .iter()
                 .zip(&self.latencies_s)
-                .filter(|&(&owner, &l)| owner == t && l >= 0.0)
+                .filter(|&(&owner, &l)| owner == t && l != SHED_LATENCY_S)
                 .map(|(_, &l)| l)
                 .collect();
-            served.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-            let p99 = if served.is_empty() {
-                0.0
-            } else {
-                let rank = (0.99 * served.len() as f64).ceil() as usize;
-                served[rank.clamp(1, served.len()) - 1]
-            };
+            let p99 = served_percentiles(served.iter().copied(), &[99.0])[0];
             let admitted = tenant.offered - tenant.shed;
             let shed_rate =
                 if tenant.offered > 0 { tenant.shed as f64 / tenant.offered as f64 } else { 0.0 };
@@ -756,14 +783,47 @@ pub fn simulate_config(workload: &Workload, cfg: &ServeConfig<'_>) -> ServeOutco
         Workload::Shaped(shaped) => {
             let stream = shaped.generate();
             let tenants = cfg.tenants.or(shaped.tenants.as_ref());
-            run(Source::Open { stream: &stream, cursor: 0 }, cfg, tenants)
+            run(Source::Open { stream: &stream, cursor: 0 }, cfg, tenants, None)
         }
         Workload::Closed(spec) => {
             let (clients, pending) = spec.clients();
             let source = Source::Closed { clients, pending, owners: Vec::new() };
-            run(source, cfg, cfg.tenants)
+            run(source, cfg, cfg.tenants, None)
         }
     }
+}
+
+/// [`simulate_config`] that additionally records the full request
+/// lifecycle as a [`Trace`] for the telemetry layer (windowed
+/// [`Timeline`](crate::telemetry::Timeline) views, timeline artifacts).
+///
+/// The outcome is identical to the untraced replay — tracing only
+/// appends events, it never influences a decision — and the untraced
+/// entry points skip every trace push, so replays without a trace pay
+/// nothing for this hook existing.
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_config_traced(workload: &Workload, cfg: &ServeConfig<'_>) -> (ServeOutcome, Trace) {
+    let mut trace = Trace::default();
+    let outcome = match workload {
+        Workload::Open(spec) => {
+            let stream = spec.generate();
+            run(Source::Open { stream: &stream, cursor: 0 }, cfg, cfg.tenants, Some(&mut trace))
+        }
+        Workload::Shaped(shaped) => {
+            let stream = shaped.generate();
+            let tenants = cfg.tenants.or(shaped.tenants.as_ref());
+            run(Source::Open { stream: &stream, cursor: 0 }, cfg, tenants, Some(&mut trace))
+        }
+        Workload::Closed(spec) => {
+            let (clients, pending) = spec.clients();
+            let source = Source::Closed { clients, pending, owners: Vec::new() };
+            run(source, cfg, cfg.tenants, Some(&mut trace))
+        }
+    };
+    (outcome, trace)
 }
 
 /// [`simulate_config`] over an explicit, pre-generated open-loop stream.
@@ -776,13 +836,56 @@ pub fn simulate_stream_config(requests: &[Request], cfg: &ServeConfig<'_>) -> Se
         requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
         "request streams must be sorted by arrival time"
     );
-    run(Source::Open { stream: requests, cursor: 0 }, cfg, cfg.tenants)
+    run(Source::Open { stream: requests, cursor: 0 }, cfg, cfg.tenants, None)
+}
+
+/// [`simulate_stream_config`] that additionally records the lifecycle
+/// [`Trace`] (see [`simulate_config_traced`]).
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_stream_config_traced(
+    requests: &[Request],
+    cfg: &ServeConfig<'_>,
+) -> (ServeOutcome, Trace) {
+    assert!(
+        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "request streams must be sorted by arrival time"
+    );
+    let mut trace = Trace::default();
+    let outcome =
+        run(Source::Open { stream: requests, cursor: 0 }, cfg, cfg.tenants, Some(&mut trace));
+    (outcome, trace)
 }
 
 /// The shared event loop behind every workload shape.
-fn run(mut source: Source<'_>, cfg: &ServeConfig<'_>, tenants: Option<&TenantMix>) -> ServeOutcome {
+///
+/// With `trace` set, every lifecycle step additionally appends a
+/// [`TraceEvent`] (in event order, so the trace is time-sorted); with
+/// `None`, every hook is a skipped `if let` and the loop's behaviour and
+/// cost are exactly the untraced ones.
+fn run(
+    mut source: Source<'_>,
+    cfg: &ServeConfig<'_>,
+    tenants: Option<&TenantMix>,
+    mut trace: Option<&mut Trace>,
+) -> ServeOutcome {
     let policy = cfg.policy;
     let costs = cfg.costs;
+    if let Some(trace) = trace.as_deref_mut() {
+        trace.groups = cfg
+            .groups
+            .iter()
+            .map(|g| TraceGroup { name: g.name.clone(), initial_shards: g.shards })
+            .collect();
+        trace.tenants = tenants.map_or_else(Vec::new, |mix| {
+            mix.tenants()
+                .iter()
+                .map(|t| TraceTenant { name: t.name.clone(), slo_s: t.slo_s })
+                .collect()
+        });
+    }
     let capacities: Option<Vec<usize>> = cfg.autoscale.map(|p| {
         cfg.groups
             .iter()
@@ -855,7 +958,17 @@ fn run(mut source: Source<'_>, cfg: &ServeConfig<'_>, tenants: Option<&TenantMix
             };
             let healthy = costs.service_seconds(fleet.shard_fingerprint(shard), class, batch.len());
             let degraded = plan.as_ref().map_or(1.0, |p| p.multiplier(fleet.group_of(shard)));
-            fleet.dispatch(shard, now, healthy * degraded, batch.len() as u64);
+            let service_s = healthy * degraded;
+            fleet.dispatch(shard, now, service_s, batch.len() as u64);
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.events.push(TraceEvent::Dispatch {
+                    at_s: now,
+                    shard,
+                    group: fleet.group_of(shard),
+                    requests: batch.len(),
+                    service_s,
+                });
+            }
             in_flight[shard] = Some(batch);
         }
 
@@ -910,6 +1023,14 @@ fn run(mut source: Source<'_>, cfg: &ServeConfig<'_>, tenants: Option<&TenantMix
                 for &id in &batch {
                     latencies[id] = finish - arrived[id].arrival_s;
                     source.on_complete(id, finish);
+                    if let Some(trace) = trace.as_deref_mut() {
+                        trace.events.push(TraceEvent::Complete {
+                            at_s: finish,
+                            id,
+                            tenant: arrived[id].tenant,
+                            latency_s: latencies[id],
+                        });
+                    }
                 }
                 makespan = makespan.max(finish);
                 batch_sizes.push(batch.len());
@@ -928,6 +1049,10 @@ fn run(mut source: Source<'_>, cfg: &ServeConfig<'_>, tenants: Option<&TenantMix
             if let Some(count) = tenant_offered.get_mut(tenant) {
                 *count += 1;
             }
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.events.push(TraceEvent::Arrival { at_s: now, id, tenant });
+            }
+            let mut reason = ShedReason::QueueFull;
             let admit = if !admission {
                 true
             } else if cfg.queue_bound.is_some_and(|bound| backlog.len() >= bound) {
@@ -937,6 +1062,7 @@ fn run(mut source: Source<'_>, cfg: &ServeConfig<'_>, tenants: Option<&TenantMix
                 let pass = gate.admit(now);
                 if !pass {
                     shed_limit += 1;
+                    reason = ShedReason::RateLimited;
                 }
                 pass
             } else {
@@ -944,11 +1070,17 @@ fn run(mut source: Source<'_>, cfg: &ServeConfig<'_>, tenants: Option<&TenantMix
             };
             if admit {
                 backlog.push(id, class);
+                if let Some(trace) = trace.as_deref_mut() {
+                    trace.events.push(TraceEvent::Admit { at_s: now, id });
+                }
             } else {
                 latencies[id] = SHED_LATENCY_S;
                 shed_ids.push(id);
                 if let Some(count) = tenant_shed.get_mut(tenant) {
                     *count += 1;
+                }
+                if let Some(trace) = trace.as_deref_mut() {
+                    trace.events.push(TraceEvent::Shed { at_s: now, id, tenant, reason });
                 }
                 source.on_complete(id, now);
             }
@@ -981,12 +1113,23 @@ fn run(mut source: Source<'_>, cfg: &ServeConfig<'_>, tenants: Option<&TenantMix
                 let Some(victim) = victim else { continue };
                 let batch = in_flight[victim].take();
                 let redispatched = batch.as_ref().map_or(0, Vec::len);
+                let lost_service_s =
+                    if redispatched > 0 { (fleet.busy_until(victim) - now).max(0.0) } else { 0.0 };
                 if let Some(batch) = batch {
                     let class = arrived[batch[0]].class;
                     backlog.push_front(&batch, class);
                 }
                 fleet.crash(victim, now, redispatched as u64);
                 crash_events.push(CrashEvent { at_s: now, shard: victim, group, redispatched });
+                if let Some(trace) = trace.as_deref_mut() {
+                    trace.events.push(TraceEvent::Crash {
+                        at_s: now,
+                        shard: victim,
+                        group,
+                        redispatched,
+                        lost_service_s,
+                    });
+                }
                 depth_max = depth_max.max(backlog.len());
             }
         }
@@ -1017,6 +1160,11 @@ fn run(mut source: Source<'_>, cfg: &ServeConfig<'_>, tenants: Option<&TenantMix
                     fleet.activate(op.group, now).is_some()
                 } else {
                     provision_failures += 1;
+                    if let Some(trace) = trace.as_deref_mut() {
+                        trace
+                            .events
+                            .push(TraceEvent::ProvisionFailure { at_s: now, group: op.group });
+                    }
                     false
                 }
             } else {
@@ -1033,6 +1181,14 @@ fn run(mut source: Source<'_>, cfg: &ServeConfig<'_>, tenants: Option<&TenantMix
                     delta: op.delta,
                     active_total: fleet.active_shards(),
                 });
+                if let Some(trace) = trace.as_deref_mut() {
+                    trace.events.push(TraceEvent::Scale {
+                        at_s: now,
+                        group: op.group,
+                        delta: op.delta,
+                        active_total: fleet.active_shards(),
+                    });
+                }
             }
         }
 

@@ -1,0 +1,759 @@
+//! Deterministic observability: request lifecycle traces, windowed
+//! time-series and mergeable latency histograms.
+//!
+//! Every other serve metric is an end-of-run aggregate, which makes the
+//! scenario library's dynamics invisible *in time* — a flash crowd's p99
+//! spike, the backlog draining after a crash, a tenant being squeezed mid
+//! run all blend into one number. This module adds the missing axis in
+//! three deterministic layers:
+//!
+//! 1. **[`Trace`]** — the raw record. When a caller uses the `*_traced`
+//!    entry points of [`crate::sim`], the event loop appends one
+//!    [`TraceEvent`] per lifecycle step (arrival → admit/shed →
+//!    dispatch/service start → completion, plus crash/scale/provisioning
+//!    events) in simulation-time order. Tracing is opt-in: the untraced
+//!    entry points skip every push, so the hot loop pays nothing.
+//! 2. **[`LatencyHistogram`]** — mergeable percentile state. Latencies
+//!    land in log-spaced buckets (the float's exponent plus the top
+//!    [`SUB_BUCKET_BITS`] mantissa bits), so [`LatencyHistogram::merge`]
+//!    is exact bucket-count addition and every reported percentile sits
+//!    within [`RELATIVE_ERROR_BOUND`] of the exact-sort answer. This is
+//!    the state a future parallel-in-time engine can merge across
+//!    timeline fragments.
+//! 3. **[`Timeline`]** — the windowed view. [`Timeline::build`] replays a
+//!    trace into fixed-width windows sampling queue depth, in-flight
+//!    count, shed rate, per-group utilisation and active shards,
+//!    per-tenant throughput/SLO attainment and per-window p50/p99, and
+//!    emits them as `neura_lab` records under the
+//!    `neura_lab.timeline/v1` artifact schema.
+//!
+//! Everything here is a pure function of the trace, so timeline artifacts
+//! inherit the simulation's byte-identity across `NEURA_LAB_THREADS`.
+
+use std::collections::BTreeMap;
+
+use neura_lab::RunRecord;
+
+use crate::sim::ServeOutcome;
+
+/// Mantissa bits that subdivide each power-of-two latency range into
+/// `2^SUB_BUCKET_BITS` log-spaced histogram buckets.
+pub const SUB_BUCKET_BITS: u32 = 7;
+
+/// How far a bucket's index reaches into the float's bit pattern.
+const BUCKET_SHIFT: u32 = 52 - SUB_BUCKET_BITS;
+
+/// The histogram's proven relative error: a bucket covering `[lo, hi)`
+/// has width `hi − lo = 2^(e − 7)` where `2^e ≤ lo`, so the bucket
+/// midpoint sits within `2^(e − 8) ≤ value / 256` of any member value.
+/// Holds for every normal value (all real latencies); values below
+/// `f64::MIN_POSITIVE` collapse towards zero with absolute error under
+/// `1e-307`.
+pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / 256.0;
+
+/// A mergeable log-bucketed latency histogram.
+///
+/// Values map to buckets by truncating the `f64` bit pattern to its
+/// exponent plus the top [`SUB_BUCKET_BITS`] mantissa bits — an
+/// integer-only, platform-independent mapping that keeps bucket order
+/// equal to value order. Percentiles are nearest-rank over the bucket
+/// counts and report the bucket midpoint, which is provably within
+/// [`RELATIVE_ERROR_BOUND`] of the exact-sort percentile.
+/// [`Self::merge`] adds bucket counts, so the histogram of a
+/// concatenated stream equals the merge of its parts' histograms —
+/// the property windowed percentiles and the future fragment-merge
+/// engine both rely on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    buckets: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// The bucket index of a non-negative finite value.
+    fn bucket_of(value: f64) -> u32 {
+        (value.to_bits() >> BUCKET_SHIFT) as u32
+    }
+
+    /// The midpoint of a bucket's value range (its reported percentile
+    /// representative). Bucket 0 holds exact zeros and reports 0.
+    fn representative(bucket: u32) -> f64 {
+        if bucket == 0 {
+            return 0.0;
+        }
+        let lower = f64::from_bits(u64::from(bucket) << BUCKET_SHIFT);
+        let upper = f64::from_bits(u64::from(bucket + 1) << BUCKET_SHIFT);
+        (lower + upper) / 2.0
+    }
+
+    /// Records one latency observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `value` is negative or non-finite — a latency can be
+    /// neither, so feeding one in is a caller bug worth failing loudly on.
+    pub fn record(&mut self, value: f64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `count` observations of the same latency.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::record`].
+    pub fn record_n(&mut self, value: f64, count: u64) {
+        assert!(value >= 0.0 && value.is_finite(), "latency {value} is not a non-negative real");
+        if count == 0 {
+            return;
+        }
+        *self.buckets.entry(Self::bucket_of(value)).or_insert(0) += count;
+        self.total += count;
+    }
+
+    /// Adds every bucket of `other` into `self` — exact, order-free, and
+    /// equivalent to having recorded both streams into one histogram.
+    pub fn merge(&mut self, other: &Self) {
+        for (&bucket, &count) in &other.buckets {
+            *self.buckets.entry(bucket).or_insert(0) += count;
+        }
+        self.total += other.total;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Nearest-rank percentile (0 when empty), reported as the owning
+    /// bucket's midpoint — within [`RELATIVE_ERROR_BOUND`] of the
+    /// exact-sort percentile.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < pct ≤ 100`.
+    pub fn percentile(&self, pct: f64) -> f64 {
+        assert!(pct > 0.0 && pct <= 100.0, "percentile must be within (0, 100]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((pct / 100.0 * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (&bucket, &count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return Self::representative(bucket);
+            }
+        }
+        unreachable!("cumulative bucket counts reach the total")
+    }
+
+    /// Several percentiles (each as [`Self::percentile`]).
+    pub fn percentiles(&self, pcts: &[f64]) -> Vec<f64> {
+        pcts.iter().map(|&pct| self.percentile(pct)).collect()
+    }
+}
+
+/// Why an arrival was shed at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The backlog was at its [`crate::sim::ServeConfig::queue_bound`].
+    QueueFull,
+    /// The tenant's token bucket was empty.
+    RateLimited,
+}
+
+/// One step of a request's (or the fleet's) lifecycle, stamped with its
+/// simulation time. Events are appended in event-loop order, so a trace
+/// is already sorted by `at_s`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A request entered the system.
+    Arrival {
+        /// Simulation time in seconds.
+        at_s: f64,
+        /// Request id.
+        id: usize,
+        /// Owning tenant index.
+        tenant: usize,
+    },
+    /// The request passed admission into the backlog.
+    Admit {
+        /// Simulation time in seconds.
+        at_s: f64,
+        /// Request id.
+        id: usize,
+    },
+    /// The request was shed at admission.
+    Shed {
+        /// Simulation time in seconds.
+        at_s: f64,
+        /// Request id.
+        id: usize,
+        /// Owning tenant index.
+        tenant: usize,
+        /// What gate refused it.
+        reason: ShedReason,
+    },
+    /// A dispatch unit left the backlog and started service on a shard
+    /// (dispatch and service start coincide in this model).
+    Dispatch {
+        /// Simulation time in seconds.
+        at_s: f64,
+        /// Serving shard slot.
+        shard: usize,
+        /// The shard's group.
+        group: usize,
+        /// Requests in the unit.
+        requests: usize,
+        /// Service time the unit was charged.
+        service_s: f64,
+    },
+    /// A request's batch finished; its latency is final.
+    Complete {
+        /// Simulation time in seconds.
+        at_s: f64,
+        /// Request id.
+        id: usize,
+        /// Owning tenant index.
+        tenant: usize,
+        /// Completion − arrival, in seconds.
+        latency_s: f64,
+    },
+    /// An injected crash removed a shard; its in-flight batch returned to
+    /// the queue head.
+    Crash {
+        /// Simulation time in seconds.
+        at_s: f64,
+        /// Crashed shard slot.
+        shard: usize,
+        /// The shard's group.
+        group: usize,
+        /// Requests returned to the queue for re-dispatch.
+        redispatched: usize,
+        /// Service seconds retracted from the interrupted batch.
+        lost_service_s: f64,
+    },
+    /// An executed fleet-size change (the autoscaler's doing — crashes
+    /// are [`TraceEvent::Crash`] events).
+    Scale {
+        /// Effect time in seconds.
+        at_s: f64,
+        /// Affected group.
+        group: usize,
+        /// +1 grow / −1 shrink.
+        delta: i64,
+        /// Fleet-wide active shards after the change.
+        active_total: usize,
+    },
+    /// A scheduled scale-up that failed to provision.
+    ProvisionFailure {
+        /// Simulation time in seconds.
+        at_s: f64,
+        /// Affected group.
+        group: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The event's simulation time.
+    pub fn at_s(&self) -> f64 {
+        match *self {
+            TraceEvent::Arrival { at_s, .. }
+            | TraceEvent::Admit { at_s, .. }
+            | TraceEvent::Shed { at_s, .. }
+            | TraceEvent::Dispatch { at_s, .. }
+            | TraceEvent::Complete { at_s, .. }
+            | TraceEvent::Crash { at_s, .. }
+            | TraceEvent::Scale { at_s, .. }
+            | TraceEvent::ProvisionFailure { at_s, .. } => at_s,
+        }
+    }
+}
+
+/// Static shard-group context a trace carries so the timeline can follow
+/// active-capacity changes without the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceGroup {
+    /// The group's name.
+    pub name: String,
+    /// Shards active at t = 0.
+    pub initial_shards: usize,
+}
+
+/// Static tenant context a trace carries (empty without a tenant mix).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceTenant {
+    /// The tenant's name.
+    pub name: String,
+    /// The tenant's latency SLO, if declared.
+    pub slo_s: Option<f64>,
+}
+
+/// The full lifecycle record of one traced replay: static fleet/tenant
+/// context plus every [`TraceEvent`] in simulation-time order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Shard groups, in fleet order.
+    pub groups: Vec<TraceGroup>,
+    /// Tenants of the mix, in mix order (empty without one).
+    pub tenants: Vec<TraceTenant>,
+    /// Lifecycle events, sorted by time.
+    pub events: Vec<TraceEvent>,
+}
+
+/// One shard group's slice of a window.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupWindow {
+    /// Service seconds the group's shards spent inside the window.
+    pub busy_s: f64,
+    /// Provisioned shard-seconds inside the window (the utilisation
+    /// denominator).
+    pub active_seconds: f64,
+    /// Active shards at the window's end.
+    pub active_end: usize,
+}
+
+/// One tenant's slice of a window.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TenantWindow {
+    /// Requests of the tenant completed inside the window.
+    pub served: u64,
+    /// Of those, completions within the tenant's SLO (equal to `served`
+    /// when no SLO is declared).
+    pub within_slo: u64,
+}
+
+/// Everything one fixed-width window of the timeline measured.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WindowStats {
+    /// Window start time in seconds.
+    pub start_s: f64,
+    /// Requests that arrived inside the window.
+    pub arrivals: u64,
+    /// Of those, requests admitted into the backlog.
+    pub admitted: u64,
+    /// Of those, requests shed at admission.
+    pub shed: u64,
+    /// Shed because the backlog was at its bound.
+    pub shed_queue: u64,
+    /// Shed because the tenant's token bucket was empty.
+    pub shed_limit: u64,
+    /// Requests completed inside the window.
+    pub served: u64,
+    /// Scheduled scale-ups that failed to provision inside the window.
+    pub provision_failures: u64,
+    /// Backlog depth when the window closed.
+    pub queue_depth_end: usize,
+    /// Largest backlog depth observed inside the window.
+    pub queue_depth_peak: usize,
+    /// Admitted-but-uncompleted requests when the window closed.
+    pub in_flight_end: usize,
+    /// Latencies of the window's completions.
+    pub histogram: LatencyHistogram,
+    /// Per-group busy/active accounting, in fleet group order.
+    pub groups: Vec<GroupWindow>,
+    /// Per-tenant accounting, in mix order (empty without a mix).
+    pub tenants: Vec<TenantWindow>,
+}
+
+impl WindowStats {
+    /// Fraction of the window's arrivals shed (0 for an idle window).
+    pub fn shed_rate(&self) -> f64 {
+        if self.arrivals > 0 {
+            self.shed as f64 / self.arrivals as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The windowed time-series view of one traced replay.
+///
+/// Built by [`Timeline::build`] from a [`Trace`] and its
+/// [`ServeOutcome`]; every field is a pure function of the two, so two
+/// builds of the same replay are identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// The fixed window width in seconds.
+    pub window_s: f64,
+    /// The windows, in time order (always at least one).
+    pub windows: Vec<WindowStats>,
+    /// Every window's histogram merged — the run-aggregate percentile
+    /// state, built through [`LatencyHistogram::merge`].
+    pub merged: LatencyHistogram,
+    /// Shard-group names, in fleet order.
+    pub group_names: Vec<String>,
+    /// Tenant context, in mix order (empty without a mix).
+    pub tenants: Vec<TraceTenant>,
+    /// Per-crash recovery times copied from the outcome (crash to the
+    /// first repairing scale-up's effect).
+    pub recovery_times_s: Vec<f64>,
+}
+
+impl Timeline {
+    /// Replays a trace into fixed-width windows.
+    ///
+    /// Windows tile `[0, makespan)`; events exactly at the makespan land
+    /// in the final window. The pass is single and chronological: queue
+    /// depth and in-flight counts integrate admit/dispatch/complete/crash
+    /// deltas, per-group busy seconds come from dispatch intervals
+    /// clipped to each window (crash retractions subtract the lost tail),
+    /// and active shard-seconds integrate the scale/crash step function.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window_s` is positive and finite.
+    pub fn build(trace: &Trace, outcome: &ServeOutcome, window_s: f64) -> Self {
+        assert!(window_s > 0.0 && window_s.is_finite(), "window width must be a positive time");
+        let makespan = outcome.makespan_s;
+        let count = ((makespan / window_s).ceil() as usize).max(1);
+        let window_of = |t: f64| ((t / window_s) as usize).min(count - 1);
+        let groups = trace.groups.len();
+        let mut windows: Vec<WindowStats> = (0..count)
+            .map(|w| WindowStats {
+                start_s: w as f64 * window_s,
+                groups: vec![GroupWindow::default(); groups],
+                tenants: vec![TenantWindow::default(); trace.tenants.len()],
+                ..WindowStats::default()
+            })
+            .collect();
+
+        // Clips `[from, to)` against every window it overlaps and adds
+        // `sign` times the overlap to that window's group busy time.
+        let add_busy =
+            |windows: &mut [WindowStats], group: usize, from: f64, to: f64, sign: f64| {
+                if to <= from {
+                    return;
+                }
+                let (first, last) = (window_of(from), window_of(to));
+                for (w, window) in windows.iter_mut().enumerate().take(last + 1).skip(first) {
+                    let lo = w as f64 * window_s;
+                    let hi = lo + window_s;
+                    let overlap = (to.min(hi) - from.max(lo)).max(0.0);
+                    window.groups[group].busy_s += sign * overlap;
+                }
+            };
+
+        let mut active: Vec<usize> = trace.groups.iter().map(|g| g.initial_shards).collect();
+        let mut active_from = 0.0f64;
+        // Integrates the per-group active-shard step function over
+        // `[active_from, to)` into the overlapped windows.
+        let accrue_active = |windows: &mut [WindowStats], active: &[usize], from: f64, to: f64| {
+            if to <= from {
+                return;
+            }
+            let (first, last) = (window_of(from), window_of(to));
+            for (w, window) in windows.iter_mut().enumerate().take(last + 1).skip(first) {
+                let lo = w as f64 * window_s;
+                let hi = lo + window_s;
+                let overlap = (to.min(hi) - from.max(lo)).max(0.0);
+                for (g, &n) in active.iter().enumerate() {
+                    window.groups[g].active_seconds += n as f64 * overlap;
+                }
+            }
+        };
+
+        let mut depth = 0usize;
+        let mut in_flight = 0usize;
+        let mut cursor = 0usize;
+        let close = |windows: &mut [WindowStats],
+                     cursor: &mut usize,
+                     upto: usize,
+                     depth: usize,
+                     in_flight: usize,
+                     active: &[usize]| {
+            while *cursor < upto {
+                let window = &mut windows[*cursor];
+                window.queue_depth_end = depth;
+                window.in_flight_end = in_flight;
+                for (g, &n) in active.iter().enumerate() {
+                    window.groups[g].active_end = n;
+                }
+                *cursor += 1;
+                if *cursor < windows.len() {
+                    windows[*cursor].queue_depth_peak = depth;
+                }
+            }
+        };
+
+        for event in &trace.events {
+            let w = window_of(event.at_s());
+            close(&mut windows, &mut cursor, w, depth, in_flight, &active);
+            let window = &mut windows[w];
+            match *event {
+                TraceEvent::Arrival { .. } => window.arrivals += 1,
+                TraceEvent::Admit { .. } => {
+                    window.admitted += 1;
+                    depth += 1;
+                    in_flight += 1;
+                    window.queue_depth_peak = window.queue_depth_peak.max(depth);
+                }
+                TraceEvent::Shed { reason, .. } => {
+                    window.shed += 1;
+                    match reason {
+                        ShedReason::QueueFull => window.shed_queue += 1,
+                        ShedReason::RateLimited => window.shed_limit += 1,
+                    }
+                }
+                TraceEvent::Dispatch { at_s, group, requests, service_s, .. } => {
+                    depth -= requests;
+                    add_busy(&mut windows, group, at_s, at_s + service_s, 1.0);
+                }
+                TraceEvent::Complete { at_s: _, tenant, latency_s, .. } => {
+                    in_flight -= 1;
+                    window.served += 1;
+                    window.histogram.record(latency_s);
+                    if let Some(slot) = window.tenants.get_mut(tenant) {
+                        slot.served += 1;
+                        let slo = trace.tenants[tenant].slo_s;
+                        if slo.is_none_or(|slo| latency_s <= slo) {
+                            slot.within_slo += 1;
+                        }
+                    }
+                }
+                TraceEvent::Crash { at_s, group, redispatched, lost_service_s, .. } => {
+                    depth += redispatched;
+                    windows[w].queue_depth_peak = windows[w].queue_depth_peak.max(depth);
+                    add_busy(&mut windows, group, at_s, at_s + lost_service_s, -1.0);
+                    accrue_active(&mut windows, &active, active_from, at_s);
+                    active_from = at_s;
+                    active[group] -= 1;
+                }
+                TraceEvent::Scale { at_s, group, delta, .. } => {
+                    accrue_active(&mut windows, &active, active_from, at_s);
+                    active_from = at_s;
+                    active[group] = (active[group] as i64 + delta) as usize;
+                }
+                TraceEvent::ProvisionFailure { .. } => window.provision_failures += 1,
+            }
+        }
+        accrue_active(&mut windows, &active, active_from, makespan);
+        close(&mut windows, &mut cursor, count, depth, in_flight, &active);
+
+        let mut merged = LatencyHistogram::new();
+        for window in &windows {
+            merged.merge(&window.histogram);
+        }
+        Timeline {
+            window_s,
+            windows,
+            merged,
+            group_names: trace.groups.iter().map(|g| g.name.clone()).collect(),
+            tenants: trace.tenants.clone(),
+            recovery_times_s: outcome.recovery_times_s(),
+        }
+    }
+
+    /// The window with the largest p99 and that p99 in seconds
+    /// (window 0 / 0.0 when nothing was served).
+    pub fn worst_window_p99(&self) -> (usize, f64) {
+        let mut worst = (0usize, 0.0f64);
+        for (w, window) in self.windows.iter().enumerate() {
+            if window.histogram.is_empty() {
+                continue;
+            }
+            let p99 = window.histogram.percentile(99.0);
+            if p99 > worst.1 {
+                worst = (w, p99);
+            }
+        }
+        worst
+    }
+
+    /// Mean recovery time over the repaired crashes (0 when none).
+    pub fn mean_recovery_s(&self) -> f64 {
+        if self.recovery_times_s.is_empty() {
+            0.0
+        } else {
+            self.recovery_times_s.iter().sum::<f64>() / self.recovery_times_s.len() as f64
+        }
+    }
+
+    /// The timeline's artifact records: one `{scope}/timeline` summary
+    /// (window count/width, worst-window vs aggregate p99, recovery
+    /// accounting) and one `{scope}/window/NNN` record per window
+    /// (admission counters, queue depth, in-flight, windowed p50/p99,
+    /// per-group utilisation and active shards, per-tenant throughput
+    /// and SLO attainment). `params` is attached to every record.
+    pub fn records(&self, scope: &str, params: &[(String, String)]) -> Vec<RunRecord> {
+        let (worst_window, worst_p99) = self.worst_window_p99();
+        let served: u64 = self.windows.iter().map(|w| w.served).sum();
+        let arrivals: u64 = self.windows.iter().map(|w| w.arrivals).sum();
+        let shed: u64 = self.windows.iter().map(|w| w.shed).sum();
+        let aggregate = self.merged.percentiles(&[50.0, 99.0]);
+        let mut summary = RunRecord::new(format!("{scope}/timeline"))
+            .metric("windows", self.windows.len() as f64)
+            .unit_metric("window_ms", self.window_s * 1e3, "ms")
+            .metric("arrivals", arrivals as f64)
+            .metric("served", served as f64)
+            .metric("shed", shed as f64)
+            .unit_metric("aggregate_p50_ms", aggregate[0] * 1e3, "ms")
+            .unit_metric("aggregate_p99_ms", aggregate[1] * 1e3, "ms")
+            .metric("worst_window", worst_window as f64)
+            .unit_metric("worst_window_start_ms", self.windows[worst_window].start_s * 1e3, "ms")
+            .unit_metric("worst_window_p99_ms", worst_p99 * 1e3, "ms")
+            .metric("recoveries", self.recovery_times_s.len() as f64)
+            .unit_metric("recovery_time_ms", self.mean_recovery_s() * 1e3, "ms")
+            .metric("histogram_error_bound_pct", RELATIVE_ERROR_BOUND * 100.0);
+        summary.params = params.to_vec();
+        let mut records = vec![summary];
+        for (w, window) in self.windows.iter().enumerate() {
+            let tails = window.histogram.percentiles(&[50.0, 99.0]);
+            let mut record = RunRecord::new(format!("{scope}/window/{w:03}"))
+                .unit_metric("start_ms", window.start_s * 1e3, "ms")
+                .metric("arrivals", window.arrivals as f64)
+                .metric("admitted", window.admitted as f64)
+                .metric("shed", window.shed as f64)
+                .metric("shed_queue", window.shed_queue as f64)
+                .metric("shed_limit", window.shed_limit as f64)
+                .metric("shed_rate", window.shed_rate())
+                .metric("served", window.served as f64)
+                .unit_metric("throughput_rps", window.served as f64 / self.window_s, "req/s")
+                .unit_metric("p50_ms", tails[0] * 1e3, "ms")
+                .unit_metric("p99_ms", tails[1] * 1e3, "ms")
+                .metric("queue_depth_end", window.queue_depth_end as f64)
+                .metric("queue_depth_peak", window.queue_depth_peak as f64)
+                .metric("in_flight_end", window.in_flight_end as f64)
+                .metric("provision_failures", window.provision_failures as f64);
+            for (g, group) in window.groups.iter().enumerate() {
+                let name = &self.group_names[g];
+                let util = if group.active_seconds > 0.0 {
+                    group.busy_s / group.active_seconds
+                } else {
+                    0.0
+                };
+                record = record
+                    .metric(format!("util_{name}"), util)
+                    .metric(format!("active_{name}"), group.active_end as f64);
+            }
+            for (t, tenant) in window.tenants.iter().enumerate() {
+                let spec = &self.tenants[t];
+                record = record.unit_metric(
+                    format!("rps_{}", spec.name),
+                    tenant.served as f64 / self.window_s,
+                    "req/s",
+                );
+                if spec.slo_s.is_some() {
+                    let attainment = if tenant.served > 0 {
+                        tenant.within_slo as f64 / tenant.served as f64
+                    } else {
+                        1.0
+                    };
+                    record = record.metric(format!("slo_{}", spec.name), attainment);
+                }
+            }
+            record.params = params.to_vec();
+            record.params.push(("window".to_string(), w.to_string()));
+            records.push(record);
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank percentile by sorting, the histogram's ground
+    /// truth.
+    fn exact_percentile(values: &[f64], pct: f64) -> f64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let rank = (pct / 100.0 * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// A deterministic pseudo-random latency stream spanning five orders
+    /// of magnitude (SplitMix64 steps, no external RNG).
+    fn latencies(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let unit = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+                1e-4 * (10.0f64).powf(unit * 5.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn percentiles_sit_within_the_relative_error_bound() {
+        for seed in [1, 7, 42] {
+            let values = latencies(seed, 2_000);
+            let mut histogram = LatencyHistogram::new();
+            for &v in &values {
+                histogram.record(v);
+            }
+            assert_eq!(histogram.count(), values.len() as u64);
+            for pct in [10.0, 50.0, 90.0, 99.0, 100.0] {
+                let exact = exact_percentile(&values, pct);
+                let approx = histogram.percentile(pct);
+                assert!(
+                    (approx - exact).abs() <= exact * RELATIVE_ERROR_BOUND,
+                    "p{pct}: histogram {approx} vs exact {exact} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_of_split_streams_equals_the_concatenated_histogram() {
+        let values = latencies(99, 1_501);
+        for split in [0, 1, 750, 1_500, 1_501] {
+            let mut left = LatencyHistogram::new();
+            let mut right = LatencyHistogram::new();
+            for &v in &values[..split] {
+                left.record(v);
+            }
+            for &v in &values[split..] {
+                right.record(v);
+            }
+            let mut whole = LatencyHistogram::new();
+            for &v in &values {
+                whole.record(v);
+            }
+            left.merge(&right);
+            assert_eq!(left, whole, "merge at {split} diverges from the concatenated stream");
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_behave() {
+        let mut histogram = LatencyHistogram::new();
+        assert!(histogram.is_empty());
+        assert_eq!(histogram.percentile(99.0), 0.0);
+        histogram.record_n(0.0, 3);
+        assert_eq!(histogram.percentile(50.0), 0.0, "exact zeros report zero");
+        histogram.record(1.0);
+        assert_eq!(histogram.count(), 4);
+        assert!(histogram.percentile(100.0) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a non-negative real")]
+    fn negative_latencies_are_rejected() {
+        LatencyHistogram::new().record(-1.0);
+    }
+
+    #[test]
+    fn bucket_order_matches_value_order() {
+        let values = latencies(5, 300);
+        for pair in values.windows(2) {
+            let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            assert!(LatencyHistogram::bucket_of(a) <= LatencyHistogram::bucket_of(b));
+        }
+    }
+}

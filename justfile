@@ -7,7 +7,7 @@
 bins := "table1 table3 table4 table5 fig11 fig13 fig14 fig15 fig16 fig17 ablation"
 
 # Run everything CI runs.
-ci: fmt clippy build test artifacts tune serve
+ci: fmt clippy build test artifacts tune serve trace
 
 # Formatting check (apply with `just fmt-fix`).
 fmt:
@@ -64,6 +64,16 @@ tune-paper:
 serve:
     NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin serve -- --json
     ls -l target/artifacts/serve.json
+
+# The serving sweep with request-lifecycle tracing on: besides
+# serve.json (byte-identical to an untraced run), writes the windowed
+# neura_lab.timeline/v1 artifact to target/artifacts/timeline.json and
+# summarises it — worst-window p99 vs the aggregate, crash recovery,
+# windowed SLO attainment — through the timeline binary.
+trace:
+    NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin serve -- --json --trace
+    cargo run --release -q -p neura_bench --bin timeline
+    ls -l target/artifacts/timeline.json
 
 # Serving scenarios at paper scale: memoised request costs come from
 # 256-2000-node cycle-level simulations, so tail latencies are in the
