@@ -63,9 +63,11 @@
 use neura_baselines::workload::WorkloadProfile;
 use neura_bench::{fmt, print_table, sim_matrix_at_fidelity};
 use neura_chip::accelerator::Accelerator;
+use neura_chip::analytic::WorkloadFeatures;
 use neura_chip::config::{ChipConfig, TileSize};
 use neura_lab::spec::derive_seed;
 use neura_lab::{Artifact, ArtifactSession, RunRecord, Runner, TIMELINE_SCHEMA};
+use neura_serve::cost::{analytic_class_cost, hybrid_scaled_cycles, CostModel};
 use neura_serve::policy::{DEFAULT_BATCH_TIMEOUT_S, DEFAULT_MAX_BATCH};
 use neura_serve::{
     simulate_config, simulate_config_traced, ArrivalProcess, AutoscalePolicy, ClassCost, CostTable,
@@ -91,7 +93,7 @@ fn usage() -> String {
      \x20            [--autoscale MIN:MAX] [--provision-ms X] [--check-ms X]\n\
      \x20            [--duration S] [--dataset NAME]... [--max-batch N] [--batch-timeout-ms X]\n\
      \x20            [--scenario NAME]... [--queue-bound N] [--tenant SPEC]... [--fault SPEC]\n\
-     \x20            [--trace [PATH]] [--window-ms X]\n\
+     \x20            [--trace [PATH]] [--window-ms X] [--cost-model M]\n\
      \n\
      --json [PATH]         write a machine-readable artifact (default: target/artifacts/serve.json)\n\
      --arrival A           poisson | bursty (repeatable; default: poisson)\n\
@@ -122,6 +124,10 @@ fn usage() -> String {
      --trace [PATH]        record request lifecycles and write a windowed neura_lab.timeline/v1\n\
      \x20                    artifact (default: target/artifacts/timeline.json)\n\
      --window-ms X         timeline window width (default: 1/50th of the horizon)\n\
+     --cost-model M        cycle | analytic | hybrid — how request classes are priced\n\
+     \x20                    (default: cycle = the cycle-accurate oracle; analytic = the\n\
+     \x20                    closed-form neura_chip::analytic estimate, no simulations;\n\
+     \x20                    hybrid = analytic rescaled through one cycle anchor per silicon)\n\
      scenario library:"
         .to_string();
     for sc in ScenarioSpec::library() {
@@ -154,6 +160,7 @@ struct Args {
     trace: bool,
     trace_path: Option<String>,
     window_ms: Option<f64>,
+    cost_model: CostModel,
     passthrough: Vec<String>,
 }
 
@@ -182,6 +189,7 @@ fn parse_args() -> Args {
         trace: false,
         trace_path: None,
         window_ms: None,
+        cost_model: CostModel::default(),
         passthrough: Vec::new(),
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -357,6 +365,11 @@ fn parse_args() -> Args {
                     _ => bad_usage(&format!("--window-ms {raw:?} is not a positive width")),
                 });
             }
+            "--cost-model" => {
+                let raw = value("--cost-model");
+                parsed.cost_model = CostModel::parse(&raw)
+                    .unwrap_or_else(|| bad_usage(&format!("unknown cost model {raw:?}")));
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -458,10 +471,13 @@ fn main() {
     tiles.sort_by_key(|t| t.label());
     tiles.dedup();
 
-    // Memoise the cycle cost of one request per (chip fingerprint, class)
-    // pair — one cycle-level simulation each, fanned out on the lab
-    // runner; every scenario then replays against this shared table.
-    // Fleets sharing a configuration share the memo by construction.
+    // Price one request per (chip fingerprint, class) pair into the shared
+    // cost table; every scenario then replays against it. Fleets sharing a
+    // configuration share the memo by construction. The default `cycle`
+    // model measures each pair with one cycle-level simulation, fanned out
+    // on the lab runner; `analytic` prices every pair with the closed-form
+    // fast path (no simulations), and `hybrid` anchors the analytic
+    // estimates to one cycle measurement per tile configuration.
     let classes: Vec<RequestClass> = args
         .mix
         .iter()
@@ -470,13 +486,53 @@ fn main() {
         .collect();
     let work: Vec<(TileSize, RequestClass)> =
         tiles.iter().flat_map(|&tile| classes.iter().map(move |&class| (tile, class))).collect();
-    let measured = runner.run(&work, |_, (tile, class)| {
-        let a = sim_matrix_at_fidelity(&args.mix[class.dataset], class.shrink);
-        let mut chip = Accelerator::new(ChipConfig::for_tile_size(*tile));
-        let report = chip.run_spgemm(&a, &a).expect("simulation drains").report;
-        let profile = WorkloadProfile::from_square(&args.mix[class.dataset], &a);
-        ClassCost { cycles: report.total_cycles, flops: profile.flops() }
-    });
+    let measured = match args.cost_model {
+        CostModel::Cycle => runner.run(&work, |_, (tile, class)| {
+            let a = sim_matrix_at_fidelity(&args.mix[class.dataset], class.shrink);
+            let mut chip = Accelerator::new(ChipConfig::for_tile_size(*tile));
+            let report = chip.run_spgemm(&a, &a).expect("simulation drains").report;
+            let profile = WorkloadProfile::from_square(&args.mix[class.dataset], &a);
+            ClassCost { cycles: report.total_cycles, flops: profile.flops() }
+        }),
+        CostModel::Analytic => runner.run(&work, |_, (tile, class)| {
+            let a = sim_matrix_at_fidelity(&args.mix[class.dataset], class.shrink);
+            let features = WorkloadFeatures::from_square(&a);
+            analytic_class_cost(&ChipConfig::for_tile_size(*tile), &features)
+        }),
+        CostModel::Hybrid => {
+            // Symbolic features per class (cheap) plus one cycle-level
+            // anchor simulation per tile: every other (tile, class) pair is
+            // the analytic estimate rescaled through its tile's anchor.
+            let class_features = runner.run(&classes, |_, class: &RequestClass| {
+                let a = sim_matrix_at_fidelity(&args.mix[class.dataset], class.shrink);
+                WorkloadFeatures::from_square(&a)
+            });
+            let anchor = classes[0];
+            let anchors = runner.run(&tiles, |_, tile: &TileSize| {
+                let a = sim_matrix_at_fidelity(&args.mix[anchor.dataset], anchor.shrink);
+                let mut chip = Accelerator::new(ChipConfig::for_tile_size(*tile));
+                chip.run_spgemm(&a, &a).expect("simulation drains").report.total_cycles
+            });
+            work.iter()
+                .map(|&(tile, class)| {
+                    let config = ChipConfig::for_tile_size(tile);
+                    let tile_index = tiles.iter().position(|&t| t == tile).expect("tile listed");
+                    let class_index =
+                        classes.iter().position(|&c| c == class).expect("class listed");
+                    let estimate = analytic_class_cost(&config, &class_features[class_index]);
+                    let anchor_estimate = analytic_class_cost(&config, &class_features[0]).cycles;
+                    ClassCost {
+                        cycles: hybrid_scaled_cycles(
+                            estimate.cycles,
+                            anchors[tile_index],
+                            anchor_estimate,
+                        ),
+                        flops: estimate.flops,
+                    }
+                })
+                .collect()
+        }
+    };
     let mut costs = CostTable::new();
     for (&(tile, class), cost) in work.iter().zip(&measured) {
         let fp = costs.register(&ChipConfig::for_tile_size(tile));
@@ -494,6 +550,9 @@ fn main() {
         record.params.push(("tile".to_string(), tile.label().to_string()));
         record.params.push(("dataset".to_string(), args.mix[class.dataset].clone()));
         record.params.push(("shrink".to_string(), class.shrink.to_string()));
+        if args.cost_model != CostModel::Cycle {
+            record.params.push(("cost_model".to_string(), args.cost_model.name().to_string()));
+        }
         session.push(record);
     }
 
@@ -703,6 +762,9 @@ fn main() {
         let mut params = scenario.params();
         params.push(("mix".to_string(), args.mix.join("+")));
         params.push(("duration_s".to_string(), format!("{duration_s:?}")));
+        if args.cost_model != CostModel::Cycle {
+            params.push(("cost_model".to_string(), args.cost_model.name().to_string()));
+        }
         session.extend(outcome.records(&scenario.id, &params));
         if let Some(timeline) = timeline {
             timeline_artifact.extend(timeline.records(&scenario.id, &params));
@@ -739,6 +801,18 @@ fn main() {
         mix_len,
         work.len(),
     );
+    match args.cost_model {
+        CostModel::Cycle => {}
+        CostModel::Analytic => println!(
+            "cost model: analytic — every class cost above is a closed-form estimate \
+             (0 cycle-level simulations; `xval` pins the error bound vs the oracle)."
+        ),
+        CostModel::Hybrid => println!(
+            "cost model: hybrid — analytic class costs rescaled through one cycle-level \
+             anchor simulation per tile configuration ({} simulations total).",
+            tiles.len(),
+        ),
+    }
 
     if args.trace {
         let path = args

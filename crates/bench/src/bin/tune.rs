@@ -22,13 +22,23 @@
 //!   grid, plus one baseline run always execute; a truncated ladder stays
 //!   at its reduced fidelity; default: unlimited, i.e. the full halving
 //!   ladder)
+//! - `--cost-model cycle|analytic|hybrid` — how rungs are priced (default
+//!   `cycle`: every evaluation is a cycle-level simulation; `analytic`:
+//!   every rung scores candidates with the closed-form
+//!   `neura_chip::analytic` estimate in nanoseconds; `hybrid`: analytic
+//!   screening on every rung except the last — only the final rung and the
+//!   baseline comparison re-score on the cycle oracle, so the reported
+//!   winner is simulator-verified at a fraction of the simulations)
 
 use neura_baselines::workload::WorkloadProfile;
 use neura_bench::{fmt, print_table, sim_matrix_at_fidelity};
 use neura_chip::accelerator::Accelerator;
+use neura_chip::analytic::{AnalyticModel, WorkloadFeatures};
 use neura_chip::config::{ChipConfig, HbmPreset};
+use neura_chip::power::PowerModel;
 use neura_lab::spec::derive_seed;
 use neura_lab::{ArtifactSession, Evaluation, Objective, Runner, SweepGrid, TuneSpec, Tuner};
+use neura_serve::cost::{analytic_class_cost, CostModel};
 use neura_serve::{
     simulate_stream, ArrivalProcess, ClassCost, CostTable, DispatchKind, Policy, Request,
     RequestClass, ShardGroup, StreamSpec,
@@ -56,34 +66,66 @@ fn tune_grid(dataset: &str) -> SweepGrid {
 
 fn usage() -> String {
     "usage: tune [--json [PATH]] [--dataset NAME]... [--objective OBJ] [--budget N]\n\
+     \x20           [--cost-model M]\n\
      \n\
      --json [PATH]    write a machine-readable artifact (default: target/artifacts/tune.json)\n\
      --dataset NAME   tune for this dataset (repeatable; default: the Table-1 SpGEMM suite)\n\
      --objective OBJ  cycles | energy-delay | speedup | serve-p99 (default: cycles;\n\
      \x20                serve-p99 scores p99 serving latency under a reference stream)\n\
      --budget N       max simulations per dataset; rung 0 + one baseline run always\n\
-     \x20                execute, truncated ladders stay at reduced fidelity (default: unlimited)"
+     \x20                execute, truncated ladders stay at reduced fidelity (default: unlimited)\n\
+     --cost-model M   cycle | analytic | hybrid (default: cycle — every rung simulates;\n\
+     \x20                analytic prices all rungs with the closed-form model; hybrid screens\n\
+     \x20                with it and re-scores only the final rung + baseline on the oracle)"
         .to_string()
 }
 
-/// Measures the per-class costs of `config` for `dataset` at one rung
+/// Prices the per-class costs of `config` for `dataset` at one rung
 /// fidelity (rung shrink × class shrink), as a single-fingerprint cost
-/// table.
-fn class_costs(config: &ChipConfig, dataset: &str, rung_shrink: usize) -> (CostTable, String) {
+/// table. `exact` selects the tier: the cycle-level oracle (one simulation
+/// per class) or the closed-form analytic estimate (no simulations).
+fn class_costs(
+    config: &ChipConfig,
+    dataset: &str,
+    rung_shrink: usize,
+    exact: bool,
+) -> (CostTable, String) {
     let mut costs = CostTable::new();
     let fingerprint = costs.register(config);
     for class_shrink in SERVE_SHRINKS {
         let a = sim_matrix_at_fidelity(dataset, rung_shrink * class_shrink);
-        let mut chip = Accelerator::new(config.clone());
-        let report = chip.run_spgemm(&a, &a).expect("simulation drains").report;
-        let profile = WorkloadProfile::from_square(dataset, &a);
-        costs.insert(
-            &fingerprint,
-            RequestClass { dataset: 0, shrink: class_shrink },
-            ClassCost { cycles: report.total_cycles, flops: profile.flops() },
-        );
+        let cost = if exact {
+            let mut chip = Accelerator::new(config.clone());
+            let report = chip.run_spgemm(&a, &a).expect("simulation drains").report;
+            let profile = WorkloadProfile::from_square(dataset, &a);
+            ClassCost { cycles: report.total_cycles, flops: profile.flops() }
+        } else {
+            analytic_class_cost(config, &WorkloadFeatures::from_square(&a))
+        };
+        costs.insert(&fingerprint, RequestClass { dataset: 0, shrink: class_shrink }, cost);
     }
     (costs, fingerprint)
+}
+
+/// Scores an analytic cycle estimate on a report-backed objective without
+/// a report: the same formulas as [`Objective::score`], fed by the
+/// closed-form estimate instead of a simulation.
+fn analytic_score(objective: Objective, config: &ChipConfig, cycles: f64) -> f64 {
+    let seconds = cycles * config.seconds_per_cycle();
+    let score = match objective {
+        Objective::Cycles => cycles,
+        Objective::EnergyDelay => {
+            let power = PowerModel::calibrated().breakdown(config).total_power_w();
+            power * seconds * seconds
+        }
+        Objective::Speedup => seconds,
+        Objective::ServeP99 => unreachable!("serve-p99 runs through run_serve_p99"),
+    };
+    if score.is_finite() {
+        score
+    } else {
+        f64::INFINITY
+    }
 }
 
 /// The serve-p99 evaluator: every candidate serves the *same* reference
@@ -92,13 +134,23 @@ fn class_costs(config: &ChipConfig, dataset: &str, rung_shrink: usize) -> (CostT
 /// and is scored by the p99 latency of the replay. Queueing is part of the
 /// score: a config that shaves service time also drains its queue sooner,
 /// which is exactly the production trade-off single-kernel objectives miss.
-fn run_serve_p99(tuner: &Tuner, runner: &Runner, dataset: &str) -> neura_lab::TuneOutcome {
+fn run_serve_p99(
+    tuner: &Tuner,
+    runner: &Runner,
+    dataset: &str,
+    cost_model: CostModel,
+) -> neura_lab::TuneOutcome {
     let baseline = tuner.spec().base.clone();
+    // Reference-stream calibration follows the model's cheap tier (the
+    // stream only sets arrivals and is identical for every candidate of a
+    // rung, so the winner/baseline comparison stays fair either way).
+    let exact_references = cost_model == CostModel::Cycle;
     let references: Vec<(usize, Vec<Request>)> = tuner
         .shrinks()
         .into_iter()
         .map(|rung_shrink| {
-            let (costs, fingerprint) = class_costs(&baseline, dataset, rung_shrink);
+            let (costs, fingerprint) =
+                class_costs(&baseline, dataset, rung_shrink, exact_references);
             let mean_service_s = SERVE_SHRINKS
                 .iter()
                 .map(|&s| {
@@ -120,12 +172,19 @@ fn run_serve_p99(tuner: &Tuner, runner: &Runner, dataset: &str) -> neura_lab::Tu
             (rung_shrink, stream)
         })
         .collect();
-    tuner.run_scored(runner, |point, rung_shrink| {
+    tuner.run_tiered(runner, |point, ctx| {
         let (_, stream) = references
             .iter()
-            .find(|(s, _)| *s == rung_shrink)
+            .find(|(s, _)| *s == ctx.shrink)
             .expect("every planned shrink has a reference stream");
-        let (costs, _) = class_costs(&point.config, dataset, rung_shrink);
+        // Hybrid: analytic class costs on screening rungs, the cycle
+        // oracle on the final rung and the baseline comparison.
+        let exact = match cost_model {
+            CostModel::Cycle => true,
+            CostModel::Analytic => false,
+            CostModel::Hybrid => ctx.is_final,
+        };
+        let (costs, _) = class_costs(&point.config, dataset, ctx.shrink, exact);
         let fleet = [ShardGroup::new("cand", point.config.clone(), 1)];
         let outcome =
             simulate_stream(stream, Policy::Fifo, &fleet, DispatchKind::LeastLoaded, None, &costs);
@@ -142,6 +201,7 @@ fn main() {
     let mut datasets: Vec<String> = Vec::new();
     let mut objective = Objective::Cycles;
     let mut budget = usize::MAX;
+    let mut cost_model = CostModel::default();
     let mut passthrough: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -165,6 +225,11 @@ fn main() {
                     Ok(n) if n >= 1 => n,
                     _ => bad_usage(&format!("--budget {raw:?} is not a positive integer")),
                 };
+            }
+            "--cost-model" => {
+                let raw = args.next().unwrap_or_else(|| bad_usage("--cost-model needs a value"));
+                cost_model = CostModel::parse(&raw)
+                    .unwrap_or_else(|| bad_usage(&format!("unknown cost model {raw:?}")));
             }
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -196,8 +261,8 @@ fn main() {
         let tuner = Tuner::new(spec);
 
         let outcome = if objective == Objective::ServeP99 {
-            run_serve_p99(&tuner, &runner, dataset)
-        } else {
+            run_serve_p99(&tuner, &runner, dataset, cost_model)
+        } else if cost_model == CostModel::Cycle {
             // One workload per fidelity, generated up front so every rung
             // (and every thread) reuses the same deterministic matrix.
             let matrices: Vec<(usize, CsrMatrix)> = tuner
@@ -212,6 +277,41 @@ fn main() {
                     .expect("every planned shrink has a matrix");
                 let mut chip = Accelerator::new(point.config.clone());
                 chip.run_spgemm(a, a).expect("simulation drains").report
+            })
+        } else {
+            // Two-tier rungs: workload features are extracted once per
+            // fidelity, then analytic screening prices each candidate in
+            // nanoseconds. Under `hybrid`, the final rung (and the
+            // baseline) re-score on the cycle oracle, so the reported
+            // winner and its improvement factor are simulator-verified.
+            let matrices: Vec<(usize, CsrMatrix)> = tuner
+                .shrinks()
+                .into_iter()
+                .map(|shrink| (shrink, sim_matrix_at_fidelity(dataset, shrink)))
+                .collect();
+            let features: Vec<(usize, WorkloadFeatures)> = matrices
+                .iter()
+                .map(|(shrink, a)| (*shrink, WorkloadFeatures::from_square(a)))
+                .collect();
+            tuner.run_tiered(&runner, |point, ctx| {
+                if cost_model == CostModel::Hybrid && ctx.is_final {
+                    let (_, a) = matrices
+                        .iter()
+                        .find(|(s, _)| *s == ctx.shrink)
+                        .expect("every planned shrink has a matrix");
+                    let mut chip = Accelerator::new(point.config.clone());
+                    let report = chip.run_spgemm(a, a).expect("simulation drains").report;
+                    let score = objective.score(&point.config, &report);
+                    Evaluation { score, report: Some(report), metrics: Vec::new() }
+                } else {
+                    let (_, workload) = features
+                        .iter()
+                        .find(|(s, _)| *s == ctx.shrink)
+                        .expect("every planned shrink has features");
+                    let cycles = AnalyticModel::calibrated().cycles(&point.config, workload);
+                    Evaluation::scored(analytic_score(objective, &point.config, cycles))
+                        .with_metric("analytic_cycles", cycles, "cycles")
+                }
             })
         };
 

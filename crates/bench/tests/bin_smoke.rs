@@ -3,8 +3,9 @@
 //!
 //! Each binary is executed as a real subprocess (the exact artifact `cargo
 //! run` would launch) with [`neura_bench::SCALE_MULT_ENV`] set so the
-//! workloads shrink to seconds even in debug builds. All fourteen
-//! invocations (thirteen binaries plus a serve-p99 tuner run) execute
+//! workloads shrink to seconds even in debug builds. All sixteen
+//! invocations (fourteen binaries plus a serve-p99 tuner run and an
+//! analytic-cost serve run) execute
 //! concurrently on the same `neura_lab::Runner` scoped-thread pool the
 //! binaries themselves use for their sweeps. Beyond exit status 0 and
 //! non-empty stdout, each binary's `--json` output must parse back through
@@ -23,7 +24,7 @@ const SMOKE_MULT: &str = "32";
 
 /// Every smoke invocation: a unique label (also the artifact file stem),
 /// the binary path, the artifact's `bin` name and extra arguments.
-const INVOCATIONS: [(&str, &str, &str, &[&str]); 14] = [
+const INVOCATIONS: [(&str, &str, &str, &[&str]); 16] = [
     ("table1", env!("CARGO_BIN_EXE_table1"), "table1", &[]),
     ("table3", env!("CARGO_BIN_EXE_table3"), "table3", &[]),
     ("table4", env!("CARGO_BIN_EXE_table4"), "table4", &[]),
@@ -47,6 +48,18 @@ const INVOCATIONS: [(&str, &str, &str, &[&str]); 14] = [
         &["--dataset", "cora", "--objective", "serve-p99", "--budget", "40"],
     ),
     ("serve", env!("CARGO_BIN_EXE_serve"), "serve", &[]),
+    // The analytic fast path through the serving layer: same scenarios,
+    // classes priced by the closed-form model instead of cycle sims.
+    ("serve-analytic", env!("CARGO_BIN_EXE_serve"), "serve", &["--cost-model", "analytic"]),
+    // Cross-validation harness: two datasets prove the sampling loop and
+    // the error-report schema (numeric accuracy is a paper-scale claim,
+    // checked by the `xval` golden / `just xval-paper`, not at 32 nodes).
+    (
+        "xval",
+        env!("CARGO_BIN_EXE_xval"),
+        "xval",
+        &["--dataset", "facebook", "--dataset", "wiki-Vote"],
+    ),
 ];
 
 fn run_smoke(
@@ -107,6 +120,30 @@ fn run_smoke(
     }
     if label == "serve" {
         check_serve_artifact(&artifact)?;
+    }
+    if bin == "xval" {
+        let summary = artifact
+            .records
+            .iter()
+            .find(|r| r.id == "xval/summary")
+            .ok_or("xval artifact has no overall summary record")?;
+        for metric in [
+            "mean_abs_rel_error_pct",
+            "worst_abs_rel_error_pct",
+            "mean_bound_pct",
+            "worst_bound_pct",
+            "cells",
+        ] {
+            let value = summary
+                .metric_value(metric)
+                .ok_or(format!("xval summary lacks the {metric} metric"))?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!("xval summary metric {metric} is not a sane value: {value}"));
+            }
+        }
+        if !artifact.records.iter().any(|r| r.metric_value("rel_error_pct").is_some()) {
+            return Err("xval artifact has no per-cell error records".to_string());
+        }
     }
     Ok(())
 }
@@ -431,6 +468,62 @@ fn traced_serve_emits_a_thread_invariant_timeline() {
         .output()
         .expect("spawn timeline");
     assert!(!wrong.status.success(), "a plain run artifact is not a timeline");
+
+    std::fs::remove_dir_all(&json_dir).ok();
+}
+
+/// The two-tier cost model must not perturb the default pipeline: a bare
+/// `serve` run and an explicit `--cost-model cycle` run write
+/// byte-identical artifacts (the analytic tier is strictly opt-in), the
+/// analytic run differs only where it should (it records its cost_model
+/// param), and the `xval` harness is byte-identical across
+/// `NEURA_LAB_THREADS` settings like every other artifact writer.
+#[test]
+fn cost_model_default_is_byte_identical_and_xval_is_thread_invariant() {
+    let json_dir =
+        std::env::temp_dir().join(format!("neura_bench_cost_model_{}", std::process::id()));
+    std::fs::create_dir_all(&json_dir).expect("create artifact dir");
+
+    let run = |exe: &str, label: &str, threads: &str, extra: &[&str]| {
+        let path = json_dir.join(format!("{label}.json"));
+        let output = Command::new(exe)
+            .arg("--json")
+            .arg(&path)
+            .args(extra)
+            .env(neura_bench::SCALE_MULT_ENV, SMOKE_MULT)
+            .env("NEURA_LAB_THREADS", threads)
+            .output()
+            .expect("spawn binary");
+        assert!(
+            output.status.success(),
+            "{label} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        std::fs::read_to_string(&path).expect("artifact written")
+    };
+
+    let serve_default = run(env!("CARGO_BIN_EXE_serve"), "serve_default", "2", &[]);
+    let serve_cycle =
+        run(env!("CARGO_BIN_EXE_serve"), "serve_cycle", "2", &["--cost-model", "cycle"]);
+    assert_eq!(
+        serve_default, serve_cycle,
+        "an explicit --cost-model cycle run must be byte-identical to the default"
+    );
+    let serve_analytic =
+        run(env!("CARGO_BIN_EXE_serve"), "serve_analytic", "2", &["--cost-model", "analytic"]);
+    assert_ne!(
+        serve_default, serve_analytic,
+        "the analytic run must at least record its cost_model param"
+    );
+    assert!(
+        serve_analytic.contains("cost_model"),
+        "the analytic artifact must carry a cost_model param"
+    );
+
+    let xval_args = ["--dataset", "facebook", "--tile", "t4", "--hbm", "hbm2"];
+    let xval_two = run(env!("CARGO_BIN_EXE_xval"), "xval_t2", "2", &xval_args);
+    let xval_eight = run(env!("CARGO_BIN_EXE_xval"), "xval_t8", "8", &xval_args);
+    assert_eq!(xval_two, xval_eight, "xval artifact bytes depend on the thread count");
 
     std::fs::remove_dir_all(&json_dir).ok();
 }

@@ -20,6 +20,8 @@
 //!   barrier eviction (Figures 8, 10),
 //! * [`dispatcher`] — push-based task distribution to NeuraCores,
 //! * [`accelerator`] — the full chip assembly and cycle-level execution,
+//! * [`analytic`] — the closed-form fast-path cost model fitted from
+//!   cycle-level runs (two-tier pricing: analytic estimate, cycle oracle),
 //! * [`gcn`] — GCN layer execution (aggregation + combination),
 //! * [`power`] — the area/power/efficiency model behind Tables 4 and 5.
 //!
@@ -43,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accelerator;
+pub mod analytic;
 pub mod compiler;
 pub mod config;
 pub mod dispatcher;
@@ -54,5 +57,6 @@ pub mod neuramem;
 pub mod power;
 
 pub use accelerator::{Accelerator, ExecutionReport, SpgemmRun};
+pub use analytic::{AnalyticModel, WorkloadFeatures};
 pub use config::{ChipConfig, TileSize};
 pub use mapping::MappingKind;

@@ -64,7 +64,7 @@ pub use report::{
 pub use runner::Runner;
 pub use spec::{ExperimentSpec, SweepGrid, SweepPoint};
 pub use trend::{MetricDelta, TrendReport};
-pub use tune::{Evaluation, Objective, TuneOutcome, TuneSpec, Tuner};
+pub use tune::{Evaluation, Objective, RungContext, TuneOutcome, TuneSpec, Tuner};
 
 use std::path::PathBuf;
 

@@ -38,6 +38,23 @@ impl Evaluation {
     }
 }
 
+/// Where in the halving ladder one evaluation sits — handed to
+/// [`Tuner::run_tiered`] scorers so two-tier cost models can pick a
+/// fidelity *tier* per rung: analytic screening on the cheap rungs, the
+/// cycle-accurate oracle on the final rung (and on the baseline
+/// comparison, which is always scored as final so the
+/// `improvement_vs_default ≥ 1` guarantee compares like against like).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RungContext {
+    /// Rung number (0 = full grid).
+    pub index: usize,
+    /// Workload-shrink factor of this rung (1 = full fidelity).
+    pub shrink: usize,
+    /// Whether this is the last *executed* rung (or the baseline run) —
+    /// the evaluation that decides the reported best configuration.
+    pub is_final: bool,
+}
+
 /// Largest workload-shrink factor an early rung may use. Deeper ladders
 /// reuse this cheapest fidelity rather than shrinking further (tiny graphs
 /// stop discriminating between configurations well before 1/8 scale).
@@ -292,6 +309,21 @@ impl Tuner {
     where
         F: Fn(&SweepPoint, usize) -> Evaluation + Sync,
     {
+        self.run_tiered(runner, |point, ctx| eval(point, ctx.shrink))
+    }
+
+    /// Runs the halving ladder with full rung context — the entry point
+    /// for *tiered* scorers that change how a point is priced per rung
+    /// (e.g. the hybrid cost model: analytic estimates on screening rungs,
+    /// the cycle oracle on the final rung). The baseline comparison is
+    /// evaluated with `is_final = true` at the final rung's shrink, so a
+    /// tiered scorer always judges the winner and the paper default with
+    /// the same (most expensive) tier. `eval` must be deterministic in
+    /// `(point, context)`.
+    pub fn run_tiered<F>(&self, runner: &Runner, eval: F) -> TuneOutcome
+    where
+        F: Fn(&SweepPoint, RungContext) -> Evaluation + Sync,
+    {
         let objective = self.spec.objective;
         let scope = self.scope();
         let mut candidates: Vec<usize> = (0..self.points.len()).collect();
@@ -300,8 +332,13 @@ impl Tuner {
         let mut evaluations = 0usize;
 
         for (step, plan) in self.plan.iter().enumerate() {
+            let context = RungContext {
+                index: plan.index,
+                shrink: plan.shrink,
+                is_final: step + 1 == self.plan.len(),
+            };
             let selected: Vec<&SweepPoint> = candidates.iter().map(|&i| &self.points[i]).collect();
-            let results = runner.run(&selected, |_, point| eval(point, plan.shrink));
+            let results = runner.run(&selected, |_, point| eval(point, context));
             evaluations += selected.len();
 
             // Record each evaluation, then rank: ascending score, point
@@ -361,7 +398,9 @@ impl Tuner {
 
         // Compare the winner against the paper default at the same fidelity.
         let baseline = self.baseline_point(&scope);
-        let baseline_eval = eval(&baseline, final_shrink);
+        let baseline_context =
+            RungContext { index: last.index, shrink: final_shrink, is_final: true };
+        let baseline_eval = eval(&baseline, baseline_context);
         let baseline_score =
             if baseline_eval.score.is_finite() { baseline_eval.score } else { f64::INFINITY };
         evaluations += 1;

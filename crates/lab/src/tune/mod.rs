@@ -35,5 +35,5 @@
 mod halving;
 mod objective;
 
-pub use halving::{Evaluation, RungPlan, RungTrace, TuneOutcome, TuneSpec, Tuner};
+pub use halving::{Evaluation, RungContext, RungPlan, RungTrace, TuneOutcome, TuneSpec, Tuner};
 pub use objective::Objective;

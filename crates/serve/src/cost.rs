@@ -13,9 +13,18 @@
 //! Batching amortises operand traffic — every request of a batch queries
 //! the same graph — so requests beyond the first are charged only a
 //! marginal fraction of the single-request cost.
+//!
+//! Costs can be *priced* by either tier of the two-tier chip model (see
+//! [`CostModel`]): the cycle-accurate simulator (the default truth
+//! oracle), the closed-form [`neura_chip::analytic`] estimate (nanoseconds
+//! per class, unlocking huge class counts), or a hybrid that anchors the
+//! analytic estimate to one cycle measurement per fingerprint. The table
+//! itself is pricing-agnostic — it stores whatever cycles the chosen
+//! model produced.
 
 use std::collections::BTreeMap;
 
+use neura_chip::analytic::{AnalyticModel, WorkloadFeatures};
 use neura_chip::config::ChipConfig;
 
 /// The workload class of one request: which dataset of the serving mix it
@@ -48,6 +57,70 @@ pub struct ClassCost {
 /// beyond the first (operand fetch and program setup are shared across the
 /// batch; accumulation work is not).
 pub const DEFAULT_MARGINAL_BATCH_FRACTION: f64 = 0.5;
+
+/// Which tier of the two-tier chip model prices request classes into the
+/// [`CostTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// Every class is measured by a full cycle-level `neura_chip`
+    /// simulation — the truth oracle and the default (artifacts are
+    /// byte-identical to a build without the analytic tier).
+    #[default]
+    Cycle,
+    /// Every class is priced by the closed-form
+    /// [`neura_chip::analytic`] model — nanoseconds per class, within the
+    /// pinned `xval` error bound of the oracle.
+    Analytic,
+    /// One cycle-level anchor measurement per chip fingerprint; the
+    /// remaining classes are analytic estimates rescaled through the
+    /// anchor's analytic-vs-measured ratio, correcting any systematic
+    /// per-silicon bias at one simulation per fingerprint.
+    Hybrid,
+}
+
+impl CostModel {
+    /// Every pricing model, in flag order.
+    pub const ALL: [CostModel; 3] = [CostModel::Cycle, CostModel::Analytic, CostModel::Hybrid];
+
+    /// The flag spelling (`cycle` / `analytic` / `hybrid`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CostModel::Cycle => "cycle",
+            CostModel::Analytic => "analytic",
+            CostModel::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a `--cost-model` flag value.
+    pub fn parse(value: &str) -> Option<CostModel> {
+        CostModel::ALL.into_iter().find(|model| model.name() == value)
+    }
+}
+
+/// Prices one request class with the calibrated analytic model: estimated
+/// cycles for the workload on `config`, exact flops from the symbolic
+/// workload analysis (flops are a workload property, so the SJF weights
+/// match the cycle path bit-for-bit).
+pub fn analytic_class_cost(config: &ChipConfig, workload: &WorkloadFeatures) -> ClassCost {
+    ClassCost {
+        cycles: AnalyticModel::calibrated().class_cycles(config, workload),
+        flops: workload.flops(),
+    }
+}
+
+/// Rescales an analytic cycle estimate through a hybrid anchor: the ratio
+/// of the anchor class's *measured* cycles to its *analytic* estimate on
+/// the same silicon, applied to another class's analytic estimate.
+/// Clamped to ≥ 1 cycle (the [`CostTable::insert`] invariant).
+pub fn hybrid_scaled_cycles(estimate: u64, anchor_measured: u64, anchor_estimate: u64) -> u64 {
+    let scale = anchor_measured as f64 / anchor_estimate.max(1) as f64;
+    let scaled = (estimate as f64 * scale).round();
+    if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        (scaled as u64).max(1)
+    }
+}
 
 /// Memoised per-(fingerprint, class) costs plus the per-fingerprint
 /// conversion from cycles to seconds.
@@ -267,13 +340,29 @@ mod tests {
 
     #[test]
     fn service_time_amortises_batched_requests() {
-        let t = table().with_marginal_fraction(0.5);
+        let t = table().with_marginal_fraction(DEFAULT_MARGINAL_BATCH_FRACTION);
         let class = RequestClass { dataset: 0, shrink: 1 };
         let one = t.service_seconds(FP, class, 1);
         let four = t.service_seconds(FP, class, 4);
         assert!((one - 1e-6).abs() < 1e-15);
         assert!((four - one * 2.5).abs() < 1e-15, "1 + 0.5 * 3 = 2.5x the single cost");
         assert!(four < 4.0 * one, "batching must be cheaper than serving separately");
+    }
+
+    #[test]
+    fn default_table_pins_the_marginal_batch_fraction() {
+        // The default-constructed table must charge batches with the one
+        // named constant — no duplicated 0.5 literals anywhere in the
+        // serving path.
+        assert_eq!(DEFAULT_MARGINAL_BATCH_FRACTION, 0.5);
+        let t = table(); // CostTable::new(), no override
+        let class = RequestClass { dataset: 0, shrink: 1 };
+        let one = t.service_seconds(FP, class, 1);
+        for batch in [2_usize, 3, 8] {
+            let batched = t.service_seconds(FP, class, batch);
+            let expected = one * (1.0 + DEFAULT_MARGINAL_BATCH_FRACTION * (batch - 1) as f64);
+            assert!((batched - expected).abs() < 1e-15, "batch of {batch}");
+        }
     }
 
     #[test]
@@ -348,6 +437,46 @@ mod tests {
         assert_eq!(t.median_weight(), 100, "median over classes, not entries");
         let classes: Vec<RequestClass> = t.class_weights().map(|(c, _)| c).collect();
         assert_eq!(classes, vec![big, small], "class order: shrink 1 sorts before shrink 4");
+    }
+
+    #[test]
+    fn cost_model_names_round_trip() {
+        for model in CostModel::ALL {
+            assert_eq!(CostModel::parse(model.name()), Some(model));
+        }
+        assert_eq!(CostModel::parse("oracle"), None);
+        assert_eq!(CostModel::default(), CostModel::Cycle);
+    }
+
+    #[test]
+    fn analytic_costs_are_insertable_and_carry_exact_flops() {
+        let workload = WorkloadFeatures {
+            rows: 500,
+            nnz: 4_000,
+            partial_products: 90_000,
+            output_nnz: 30_000,
+            max_row_pp: 1_200,
+            active_cols: 480,
+            mmh_instructions: [4_000, 2_200, 1_300, 800],
+        };
+        let config = ChipConfig::tile_16();
+        let cost = analytic_class_cost(&config, &workload);
+        assert!(cost.cycles >= 1);
+        assert_eq!(cost.flops, workload.flops(), "SJF weights match the cycle path exactly");
+        let mut t = CostTable::new();
+        let fp = t.register(&config);
+        t.insert(&fp, RequestClass { dataset: 0, shrink: 1 }, cost);
+        assert!(t.service_seconds(&fp, RequestClass { dataset: 0, shrink: 1 }, 1) > 0.0);
+    }
+
+    #[test]
+    fn hybrid_scaling_corrects_through_the_anchor() {
+        // Anchor measured at 2x its estimate => every estimate doubles.
+        assert_eq!(hybrid_scaled_cycles(500, 2_000, 1_000), 1_000);
+        // Perfect anchor => estimates pass through unchanged.
+        assert_eq!(hybrid_scaled_cycles(500, 1_000, 1_000), 500);
+        // Never below the one-cycle floor, even for tiny scaled values.
+        assert_eq!(hybrid_scaled_cycles(1, 1, 1_000_000), 1);
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub mod telemetry;
 
 pub use arrivals::{ArrivalProcess, ClosedLoopSpec, Request, StreamSpec, Workload};
 pub use autoscale::{AutoscalePolicy, ScaleEvent};
-pub use cost::{ClassCost, CostTable, RequestClass};
+pub use cost::{ClassCost, CostModel, CostTable, RequestClass, DEFAULT_MARGINAL_BATCH_FRACTION};
 pub use dispatch::{ClassAffinity, CostAware, DispatchKind, DispatchPolicy, LeastLoaded};
 pub use fault::{CrashEvent, FaultPlan, FaultSpec};
 pub use fleet::{GroupStats, ShardFleet, ShardGroup, ShardStats};

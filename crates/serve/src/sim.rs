@@ -1277,7 +1277,8 @@ mod tests {
     /// Two classes on Tile-16 silicon: 1 s and 0.5 s of service per request
     /// (Tile-16 runs at 1 GHz, so cycles map 1:1 to nanoseconds).
     fn unit_costs() -> CostTable {
-        let mut costs = CostTable::new().with_marginal_fraction(0.5);
+        let mut costs =
+            CostTable::new().with_marginal_fraction(crate::cost::DEFAULT_MARGINAL_BATCH_FRACTION);
         let fp = costs.register(&ChipConfig::tile_16());
         costs.insert(
             &fp,

@@ -7,7 +7,7 @@
 bins := "table1 table3 table4 table5 fig11 fig13 fig14 fig15 fig16 fig17 ablation"
 
 # Run everything CI runs.
-ci: fmt clippy build test artifacts tune serve trace
+ci: fmt clippy build test artifacts tune serve trace xval
 
 # Formatting check (apply with `just fmt-fix`).
 fmt:
@@ -88,6 +88,32 @@ serve-paper:
 # fast signal while iterating on the serving layer).
 scenarios:
     cargo test -p neura_serve --test scenario_properties --test fault_properties
+
+# Sampled cross-validation of the analytic cost model at smoke scale:
+# a three-dataset slice of the (dataset x tile x HBM) grid, gated
+# byte-for-byte against the committed baseline (the cycle sims and the
+# closed-form model are both deterministic, so any drift is a real model
+# or simulator change and must be re-baselined deliberately via
+# `just xval-rebaseline`).
+xval:
+    NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin xval -- --json \
+        --dataset facebook --dataset wiki-Vote --dataset cage12
+    cargo run --release -q -p neura_bench --bin trend -- \
+        baselines/xval-smoke.json target/artifacts/xval.json --fail-above 0
+
+# Refresh the committed smoke baseline after an intentional model or
+# simulator change (review the trend diff first).
+xval-rebaseline:
+    NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin xval -- --json \
+        --dataset facebook --dataset wiki-Vote --dataset cage12
+    cp target/artifacts/xval.json baselines/xval-smoke.json
+
+# Full cross-validation at paper scale: all 20 datasets, size-matched
+# tiles, all three HBM presets, with the strict golden (mean abs rel
+# error <= 5%, worst <= 15%) enforced. Slow (~2 min of cycle sims).
+xval-paper:
+    cargo run --release -q -p neura_bench --bin xval -- --json
+    ls -l target/artifacts/xval.json
 
 # Diff two artifact files or directories (e.g. a saved copy of
 # target/artifacts/ against a fresh run): per-metric absolute/relative
