@@ -1,0 +1,393 @@
+//! Chip-level profiling sweep: windowed cycle attribution and the stall
+//! taxonomy from the cycle simulator, as a `neura_lab.profile/v1`
+//! artifact.
+//!
+//! Runs one *profiled* cycle-level simulation per (dataset × tile × HBM
+//! preset × shrink) cell — the accelerator's run loop feeds a
+//! [`neura_chip::Profiler`] once per cycle — and emits, per cell, the
+//! per-window busy/stall/idle split, the per-cause stall attribution
+//! (operand fetch / HashPad full / NoC backpressure / dispatch
+//! starvation), the exact NoC hop distribution and the DRAM-latency
+//! percentiles. Every profile is checked against its conservation
+//! invariants (taxonomy buckets sum to the stall cycles; busy + stall +
+//! idle covers `cores × total_cycles` exactly), and the run is
+//! thread-count invariant: `NEURA_LAB_THREADS=2` and `=8` produce byte
+//! identical artifacts.
+//!
+//! Run with `cargo run --release -p neura_bench --bin profile` (add
+//! `--json [path]` for the artifact). Flags:
+//!
+//! - `--dataset NAME` — restrict to one dataset (repeatable; default:
+//!   the whole Table-1 SpGEMM suite, all 20 datasets)
+//! - `--tile T` — profile on this tile size, `t4|t16|t64` (repeatable;
+//!   default: pair each dataset with its size-matched tier — smallest
+//!   third Tile-4, middle Tile-16, largest Tile-64)
+//! - `--hbm P` — restrict to one HBM preset, `hbm2|hbm2-dual|ddr4`
+//!   (repeatable; default: all three)
+//! - `--shrink N` — workload shrink factor (repeatable; default: 1)
+//! - `--window CYCLES` — profile window width (default: 1024)
+//! - `--max-stall-frac F` — exit non-zero when any cell's *worst window*
+//!   stalls more than fraction `F` of its core-cycles
+//! - `--require-conservation` — exit non-zero on any conservation
+//!   violation even at smoke scale (paper-scale runs always enforce it)
+//!
+//! The per-window attribution table prints for every cell when the sweep
+//! has at most four cells, otherwise only for the most-stalled cell.
+
+use neura_bench::{fmt, print_table, sim_matrix_at_fidelity};
+use neura_chip::accelerator::Accelerator;
+use neura_chip::config::{ChipConfig, HbmPreset, TileSize};
+use neura_chip::profile::{Profile, Profiler, StallCause, DEFAULT_WINDOW_CYCLES};
+use neura_lab::{profile_records, Artifact, Runner, PROFILE_SCHEMA};
+use neura_sparse::DatasetCatalog;
+use std::path::PathBuf;
+
+fn usage() -> String {
+    format!(
+        "usage: profile [--json [PATH]] [--dataset NAME]... [--tile T]... [--hbm P]...\n\
+         \x20              [--shrink N]... [--window CYCLES] [--max-stall-frac F]\n\
+         \x20              [--require-conservation]\n\
+         \n\
+         --json [PATH]          write a {PROFILE_SCHEMA} artifact (default:\n\
+         \x20                      target/artifacts/profile.json)\n\
+         --dataset NAME         profile this dataset (repeatable; default: the Table-1 suite)\n\
+         --tile T               t4 | t16 | t64 (repeatable; default: size-matched tier)\n\
+         --hbm P                hbm2 | hbm2-dual | ddr4 (repeatable; default: all three)\n\
+         --shrink N             workload shrink factor (repeatable; default: 1)\n\
+         --window CYCLES        profile window width in cycles (default: {DEFAULT_WINDOW_CYCLES})\n\
+         --max-stall-frac F     fail when any cell's worst window stalls more than F\n\
+         --require-conservation fail on any conservation violation at any scale"
+    )
+}
+
+struct Args {
+    datasets: Vec<String>,
+    tiles: Vec<TileSize>,
+    hbms: Vec<HbmPreset>,
+    shrinks: Vec<usize>,
+    window: u64,
+    max_stall_frac: Option<f64>,
+    require_conservation: bool,
+    json_path: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        datasets: Vec::new(),
+        tiles: Vec::new(),
+        hbms: Vec::new(),
+        shrinks: Vec::new(),
+        window: DEFAULT_WINDOW_CYCLES,
+        max_stall_frac: None,
+        require_conservation: false,
+        json_path: None,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| bad_usage(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--dataset" => {
+                let name = value("--dataset");
+                if DatasetCatalog::by_name(&name).is_none() {
+                    bad_usage(&format!("dataset {name:?} is not in the catalog"));
+                }
+                parsed.datasets.push(name);
+            }
+            "--tile" => {
+                let raw = value("--tile");
+                let tile = TileSize::ALL.into_iter().find(|t| t.label() == raw);
+                parsed
+                    .tiles
+                    .push(tile.unwrap_or_else(|| bad_usage(&format!("unknown tile size {raw:?}"))));
+            }
+            "--hbm" => {
+                let raw = value("--hbm");
+                let preset = HbmPreset::ALL.into_iter().find(|p| p.name() == raw);
+                parsed.hbms.push(
+                    preset.unwrap_or_else(|| bad_usage(&format!("unknown HBM preset {raw:?}"))),
+                );
+            }
+            "--shrink" => {
+                let raw = value("--shrink");
+                parsed.shrinks.push(match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => bad_usage(&format!("--shrink {raw:?} is not a positive integer")),
+                });
+            }
+            "--window" => {
+                let raw = value("--window");
+                parsed.window = match raw.parse::<u64>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => bad_usage(&format!("--window {raw:?} is not a positive cycle count")),
+                };
+            }
+            "--max-stall-frac" => {
+                let raw = value("--max-stall-frac");
+                parsed.max_stall_frac = Some(match raw.parse::<f64>() {
+                    Ok(f) if (0.0..=1.0).contains(&f) => f,
+                    _ => bad_usage(&format!("--max-stall-frac {raw:?} is not a fraction in 0..=1")),
+                });
+            }
+            "--require-conservation" => parsed.require_conservation = true,
+            "--json" => {
+                parsed.json_path = Some(match args.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        PathBuf::from(args.next().expect("peeked"))
+                    }
+                    _ => Artifact::default_path("profile"),
+                });
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => bad_usage(&format!("unrecognised argument {other:?}")),
+        }
+    }
+    if parsed.datasets.is_empty() {
+        parsed.datasets =
+            DatasetCatalog::spgemm_suite().iter().map(|d| d.name.to_string()).collect();
+    }
+    if parsed.hbms.is_empty() {
+        parsed.hbms = HbmPreset::ALL.to_vec();
+    }
+    if parsed.shrinks.is_empty() {
+        parsed.shrinks = vec![1];
+    }
+    parsed
+}
+
+/// One profiled point of the (dataset × tile × HBM × shrink) space.
+#[derive(Debug, Clone)]
+struct Cell {
+    dataset: String,
+    tile: TileSize,
+    hbm: HbmPreset,
+    shrink: usize,
+}
+
+impl Cell {
+    fn config(&self) -> ChipConfig {
+        ChipConfig::for_tile_size(self.tile).with_hbm_preset(self.hbm)
+    }
+
+    fn scope(&self) -> String {
+        format!(
+            "profile/{}/{}/{}/x{}",
+            self.dataset,
+            self.tile.label(),
+            self.hbm.name(),
+            self.shrink
+        )
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scale_mult = neura_bench::scale_multiplier();
+    let runner = Runner::from_env();
+
+    let mut cells = Vec::new();
+    for dataset in &args.datasets {
+        let tiles = if args.tiles.is_empty() {
+            vec![size_matched_tile(dataset)]
+        } else {
+            args.tiles.clone()
+        };
+        for &tile in &tiles {
+            for &hbm in &args.hbms {
+                for &shrink in &args.shrinks {
+                    cells.push(Cell { dataset: dataset.clone(), tile, hbm, shrink });
+                }
+            }
+        }
+    }
+
+    // One profiled cycle-level simulation per cell, fanned out on the lab
+    // runner; the runner returns results in cell order, so the artifact
+    // below is byte-identical across thread counts.
+    let window = args.window;
+    let profiles: Vec<Profile> = runner.run(&cells, move |_, cell: &Cell| {
+        let a = sim_matrix_at_fidelity(&cell.dataset, cell.shrink);
+        let mut chip = Accelerator::new(cell.config());
+        let mut profiler = Profiler::new(window);
+        chip.run_spgemm_profiled(&a, &a, Some(&mut profiler)).expect("simulation drains");
+        profiler.into_profile()
+    });
+
+    let mut artifact = Artifact::new("profile", scale_mult).with_schema(PROFILE_SCHEMA);
+    let mut violations: Vec<String> = Vec::new();
+    let mut rows = Vec::new();
+    for (cell, profile) in cells.iter().zip(&profiles) {
+        if let Err(message) = profile.check_conservation() {
+            violations.push(format!("{}: {message}", cell.scope()));
+        }
+        let mut records = profile_records(&cell.scope(), profile);
+        records[0].params.push(("dataset".to_string(), cell.dataset.clone()));
+        records[0].params.push(("tile".to_string(), cell.tile.label().to_string()));
+        records[0].params.push(("hbm".to_string(), cell.hbm.name().to_string()));
+        records[0].params.push(("shrink".to_string(), cell.shrink.to_string()));
+        artifact.extend(records);
+
+        let (worst, worst_frac) = profile.worst_window().unwrap_or((0, 0.0));
+        rows.push(vec![
+            cell.dataset.clone(),
+            cell.tile.label().to_string(),
+            cell.hbm.name().to_string(),
+            profile.windows.len().to_string(),
+            fmt(profile.stall_frac(), 4),
+            worst.to_string(),
+            fmt(worst_frac, 4),
+            dominant_cause(profile).to_string(),
+        ]);
+    }
+
+    print_table(
+        "Chip profile: stall attribution per cell",
+        &["Dataset", "Tile", "HBM", "Windows", "Stall frac", "Worst win", "Worst frac", "Dominant"],
+        &rows,
+    );
+
+    // Per-window attribution: every cell for small sweeps, otherwise the
+    // most-stalled cell only (paper-scale sweeps have dozens of cells).
+    let detail: Vec<usize> = if cells.len() <= 4 {
+        (0..cells.len()).collect()
+    } else {
+        let worst = (0..cells.len())
+            .max_by(|&i, &j| {
+                let fi = profiles[i].worst_window().map_or(0.0, |(_, f)| f);
+                let fj = profiles[j].worst_window().map_or(0.0, |(_, f)| f);
+                fi.partial_cmp(&fj).expect("stall fractions are finite")
+            })
+            .expect("at least one cell");
+        vec![worst]
+    };
+    for &index in &detail {
+        print_attribution(&cells[index], &profiles[index]);
+    }
+
+    println!(
+        "\n{} cell(s) profiled with {}-cycle windows; stall causes attribute by the\n\
+         dominant chip condition per cycle (HashPad full > NoC backpressure >\n\
+         dispatch starvation > operand fetch), so buckets conserve exactly.",
+        cells.len(),
+        args.window,
+    );
+
+    if let Some(path) = &args.json_path {
+        if let Err(e) = artifact.write(path) {
+            eprintln!("profile: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("artifact: {}", path.display());
+    }
+
+    for violation in &violations {
+        eprintln!("conservation violation: {violation}");
+    }
+
+    // Gates: conservation is always enforced at paper scale (and under
+    // --require-conservation at any scale); --max-stall-frac bounds the
+    // worst window of every cell.
+    let mut failed = false;
+    if !violations.is_empty() && (scale_mult <= 1 || args.require_conservation) {
+        failed = true;
+    }
+    if let Some(bound) = args.max_stall_frac {
+        for (cell, profile) in cells.iter().zip(&profiles) {
+            let (worst, frac) = profile.worst_window().unwrap_or((0, 0.0));
+            if frac > bound {
+                eprintln!(
+                    "stall bound exceeded: {} window {worst} stalls {} > {bound}",
+                    cell.scope(),
+                    fmt(frac, 4),
+                );
+                failed = true;
+            }
+        }
+    }
+    let conservation_label =
+        if scale_mult <= 1 || args.require_conservation { "enforced" } else { "reported" };
+    println!(
+        "golden [{}]: conservation {} -> {}; stall bound {}",
+        if scale_mult <= 1 { "strict" } else { "smoke" },
+        conservation_label,
+        if violations.is_empty() { "pass" } else { "FAIL" },
+        match args.max_stall_frac {
+            Some(bound) => format!("<= {bound} -> {}", if failed { "checked" } else { "pass" }),
+            None => "not requested".to_string(),
+        },
+    );
+    if failed {
+        eprintln!("profile: invariant gates failed");
+        std::process::exit(1);
+    }
+}
+
+/// The cause carrying the most stall cycles over the whole run.
+fn dominant_cause(profile: &Profile) -> &'static str {
+    StallCause::ALL
+        .into_iter()
+        .max_by_key(|&cause| profile.stall_by_cause(cause))
+        .expect("four causes")
+        .name()
+}
+
+/// Prints the per-window attribution table for one cell: the busy/stall/
+/// idle split and the share of each stall cause, window by window.
+fn print_attribution(cell: &Cell, profile: &Profile) {
+    let rows: Vec<Vec<String>> = profile
+        .windows
+        .iter()
+        .enumerate()
+        .map(|(w, window)| {
+            let total = (window.busy + window.stall + window.idle).max(1) as f64;
+            let mut row = vec![
+                w.to_string(),
+                window.start_cycle.to_string(),
+                window.cycles.to_string(),
+                fmt(window.busy as f64 / total, 3),
+                fmt(window.stall as f64 / total, 3),
+                fmt(window.idle as f64 / total, 3),
+            ];
+            for cause in StallCause::ALL {
+                row.push(fmt(window.stall_by_cause(cause) as f64 / total, 3));
+            }
+            row.push(window.mmh_retired.to_string());
+            row.push(window.hacc_retired.to_string());
+            row
+        })
+        .collect();
+    print_table(
+        &format!("Per-window attribution: {}", cell.scope()),
+        &[
+            "Win", "Start", "Cycles", "Busy", "Stall", "Idle", "Fetch", "Pad", "NoC", "Disp",
+            "MMH", "HACC",
+        ],
+        &rows,
+    );
+}
+
+/// The chip tier a practitioner would deploy for a graph of this size:
+/// terciles of the Table-1 suite by node count (same pairing as `xval`).
+fn size_matched_tile(name: &str) -> TileSize {
+    let dataset = DatasetCatalog::by_name(name).expect("validated at parse time");
+    let mut nodes: Vec<_> = DatasetCatalog::spgemm_suite().iter().map(|d| d.nodes).collect();
+    nodes.sort_unstable();
+    let small = nodes[nodes.len().div_ceil(3) - 1];
+    let mid = nodes[(2 * nodes.len()).div_ceil(3) - 1];
+    if dataset.nodes <= small {
+        TileSize::Tile4
+    } else if dataset.nodes <= mid {
+        TileSize::Tile16
+    } else {
+        TileSize::Tile64
+    }
+}
+
+fn bad_usage(message: &str) -> ! {
+    eprintln!("{message}\n{}", usage());
+    std::process::exit(2);
+}

@@ -44,6 +44,10 @@
 //!   emit a windowed `neura_lab.timeline/v1` artifact beside the run
 //!   artifact (default `target/artifacts/timeline.json`); `--window-ms X`
 //!   fixes the window width (default: 1/50th of the horizon)
+//! - `--profile [PATH]` — attach the chip profiler to the per-class cost
+//!   simulations (cycle cost model only) and emit one
+//!   `neura_lab.profile/v1` profile per (chip fingerprint, request class)
+//!   beside the run artifact (default `target/artifacts/serve-profile.json`)
 //!
 //! Without fleet/dispatch/clients/autoscale flags, three comparison arms
 //! ride along with the classic shard-scaling sweep: a heterogeneous
@@ -65,8 +69,11 @@ use neura_bench::{fmt, print_table, sim_matrix_at_fidelity};
 use neura_chip::accelerator::Accelerator;
 use neura_chip::analytic::WorkloadFeatures;
 use neura_chip::config::{ChipConfig, TileSize};
+use neura_chip::profile::{Profile, Profiler, DEFAULT_WINDOW_CYCLES};
 use neura_lab::spec::derive_seed;
-use neura_lab::{Artifact, ArtifactSession, RunRecord, Runner, TIMELINE_SCHEMA};
+use neura_lab::{
+    profile_records, Artifact, ArtifactSession, RunRecord, Runner, PROFILE_SCHEMA, TIMELINE_SCHEMA,
+};
 use neura_serve::cost::{analytic_class_cost, hybrid_scaled_cycles, CostModel};
 use neura_serve::policy::{DEFAULT_BATCH_TIMEOUT_S, DEFAULT_MAX_BATCH};
 use neura_serve::{
@@ -93,7 +100,7 @@ fn usage() -> String {
      \x20            [--autoscale MIN:MAX] [--provision-ms X] [--check-ms X]\n\
      \x20            [--duration S] [--dataset NAME]... [--max-batch N] [--batch-timeout-ms X]\n\
      \x20            [--scenario NAME]... [--queue-bound N] [--tenant SPEC]... [--fault SPEC]\n\
-     \x20            [--trace [PATH]] [--window-ms X] [--cost-model M]\n\
+     \x20            [--trace [PATH]] [--profile [PATH]] [--window-ms X] [--cost-model M]\n\
      \n\
      --json [PATH]         write a machine-readable artifact (default: target/artifacts/serve.json)\n\
      --arrival A           poisson | bursty (repeatable; default: poisson)\n\
@@ -123,6 +130,9 @@ fn usage() -> String {
      --fault SPEC          fault regime for the plain arms, e.g. crash2+pf0.5+deg0x3.0\n\
      --trace [PATH]        record request lifecycles and write a windowed neura_lab.timeline/v1\n\
      \x20                    artifact (default: target/artifacts/timeline.json)\n\
+     --profile [PATH]      profile the per-class cost simulations (cycle cost model only) and\n\
+     \x20                    write a neura_lab.profile/v1 artifact (default:\n\
+     \x20                    target/artifacts/serve-profile.json)\n\
      --window-ms X         timeline window width (default: 1/50th of the horizon)\n\
      --cost-model M        cycle | analytic | hybrid — how request classes are priced\n\
      \x20                    (default: cycle = the cycle-accurate oracle; analytic = the\n\
@@ -159,6 +169,8 @@ struct Args {
     fault: Option<String>,
     trace: bool,
     trace_path: Option<String>,
+    profile: bool,
+    profile_path: Option<String>,
     window_ms: Option<f64>,
     cost_model: CostModel,
     passthrough: Vec<String>,
@@ -188,6 +200,8 @@ fn parse_args() -> Args {
         fault: None,
         trace: false,
         trace_path: None,
+        profile: false,
+        profile_path: None,
         window_ms: None,
         cost_model: CostModel::default(),
         passthrough: Vec::new(),
@@ -358,6 +372,12 @@ fn parse_args() -> Args {
                     parsed.trace_path = Some(args.next().expect("peeked"));
                 }
             }
+            "--profile" => {
+                parsed.profile = true;
+                if matches!(args.peek(), Some(next) if !next.starts_with("--")) {
+                    parsed.profile_path = Some(args.next().expect("peeked"));
+                }
+            }
             "--window-ms" => {
                 let raw = value("--window-ms");
                 parsed.window_ms = Some(match raw.parse::<f64>() {
@@ -392,6 +412,15 @@ fn parse_args() -> Args {
 
 fn main() {
     let mut args = parse_args();
+    // Profiles come out of the per-class cycle simulations; the analytic
+    // and hybrid models have no (or too few) simulations to attach to.
+    if args.profile && args.cost_model != CostModel::Cycle {
+        bad_usage(&format!(
+            "--profile requires the cycle cost model, but --cost-model {} prices classes \
+             without per-class simulations",
+            args.cost_model.name()
+        ));
+    }
     // The comparison arms only ride along when the user has not taken over
     // the fleet-shaped axes.
     let default_arms = args.fleets.is_empty()
@@ -486,19 +515,34 @@ fn main() {
         .collect();
     let work: Vec<(TileSize, RequestClass)> =
         tiles.iter().flat_map(|&tile| classes.iter().map(move |&class| (tile, class))).collect();
-    let measured = match args.cost_model {
-        CostModel::Cycle => runner.run(&work, |_, (tile, class)| {
-            let a = sim_matrix_at_fidelity(&args.mix[class.dataset], class.shrink);
-            let mut chip = Accelerator::new(ChipConfig::for_tile_size(*tile));
-            let report = chip.run_spgemm(&a, &a).expect("simulation drains").report;
-            let profile = WorkloadProfile::from_square(&args.mix[class.dataset], &a);
-            ClassCost { cycles: report.total_cycles, flops: profile.flops() }
-        }),
-        CostModel::Analytic => runner.run(&work, |_, (tile, class)| {
-            let a = sim_matrix_at_fidelity(&args.mix[class.dataset], class.shrink);
-            let features = WorkloadFeatures::from_square(&a);
-            analytic_class_cost(&ChipConfig::for_tile_size(*tile), &features)
-        }),
+    let (measured, chip_profiles): (Vec<ClassCost>, Vec<Option<Profile>>) = match args.cost_model {
+        CostModel::Cycle => runner
+            .run(&work, |_, (tile, class)| {
+                let a = sim_matrix_at_fidelity(&args.mix[class.dataset], class.shrink);
+                let mut chip = Accelerator::new(ChipConfig::for_tile_size(*tile));
+                // With --profile, the chip profiler rides along on the same
+                // memoised simulation; profiling off constructs nothing.
+                let mut profiler = args.profile.then(|| Profiler::new(DEFAULT_WINDOW_CYCLES));
+                let report = chip
+                    .run_spgemm_profiled(&a, &a, profiler.as_mut())
+                    .expect("simulation drains")
+                    .report;
+                let profile = WorkloadProfile::from_square(&args.mix[class.dataset], &a);
+                (
+                    ClassCost { cycles: report.total_cycles, flops: profile.flops() },
+                    profiler.map(Profiler::into_profile),
+                )
+            })
+            .into_iter()
+            .unzip(),
+        CostModel::Analytic => (
+            runner.run(&work, |_, (tile, class)| {
+                let a = sim_matrix_at_fidelity(&args.mix[class.dataset], class.shrink);
+                let features = WorkloadFeatures::from_square(&a);
+                analytic_class_cost(&ChipConfig::for_tile_size(*tile), &features)
+            }),
+            Vec::new(),
+        ),
         CostModel::Hybrid => {
             // Symbolic features per class (cheap) plus one cycle-level
             // anchor simulation per tile: every other (tile, class) pair is
@@ -513,7 +557,8 @@ fn main() {
                 let mut chip = Accelerator::new(ChipConfig::for_tile_size(*tile));
                 chip.run_spgemm(&a, &a).expect("simulation drains").report.total_cycles
             });
-            work.iter()
+            let priced = work
+                .iter()
                 .map(|&(tile, class)| {
                     let config = ChipConfig::for_tile_size(tile);
                     let tile_index = tiles.iter().position(|&t| t == tile).expect("tile listed");
@@ -530,7 +575,8 @@ fn main() {
                         flops: estimate.flops,
                     }
                 })
-                .collect()
+                .collect();
+            (priced, Vec::new())
         }
     };
     let mut costs = CostTable::new();
@@ -824,6 +870,41 @@ fn main() {
             .write(&path)
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         println!("wrote {} ({} records)", path.display(), timeline_artifact.records.len());
+    }
+
+    if args.profile {
+        // One chip profile per memoised (chip fingerprint, request class)
+        // simulation — the exact cost-table entries the serving arms replay.
+        let mut profile_artifact =
+            Artifact::new("serve", neura_bench::scale_multiplier()).with_schema(PROFILE_SCHEMA);
+        for ((tile, class), chip_profile) in work.iter().zip(&chip_profiles) {
+            let chip_profile = chip_profile.as_ref().expect("cycle model profiles every pair");
+            let scope =
+                format!("serve/{}/{}/x{}", tile.label(), args.mix[class.dataset], class.shrink);
+            if let Err(err) = chip_profile.check_conservation() {
+                panic!("profile conservation violated for {scope}: {err}");
+            }
+            let mut records = profile_records(&scope, chip_profile);
+            if let Some(first) = records.first_mut() {
+                first.params.push(("tile".to_string(), tile.label().to_string()));
+                first.params.push(("dataset".to_string(), args.mix[class.dataset].clone()));
+                first.params.push(("shrink".to_string(), class.shrink.to_string()));
+                first.params.push((
+                    "fingerprint".to_string(),
+                    ChipConfig::for_tile_size(*tile).fingerprint(),
+                ));
+            }
+            profile_artifact.extend(records);
+        }
+        let path = args
+            .profile_path
+            .as_deref()
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| Artifact::default_path("serve-profile"));
+        profile_artifact
+            .write(&path)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("wrote {} ({} records)", path.display(), profile_artifact.records.len());
     }
 
     session.finish();

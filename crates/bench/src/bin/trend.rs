@@ -17,6 +17,8 @@
 //! records match by ID, so per-window deltas come out of the same table —
 //! and additionally print a per-scope worst-window p99 before/after
 //! headline, the number a windowed comparison is usually run for.
+//! `neura_lab.profile/v1` chip-profile artifacts likewise headline the
+//! per-scope worst-window stall fraction.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -220,6 +222,18 @@ fn print_worst_windows(label: &str, before: &Artifact, after: &Artifact) {
     for (scope, b) in trend::worst_window_p99s(before) {
         if let Some((_, a)) = after_worst.iter().find(|(s, _)| *s == scope) {
             println!("{label}: worst-window p99 [{scope}]: {} -> {} ms", fmt(b, 4), fmt(*a, 4));
+        }
+    }
+    // Chip profiles headline the same way: the stall fraction of the
+    // most-stalled window is what a profile diff is usually run for.
+    let after_stall = trend::worst_window_stall_fracs(after);
+    for (scope, b) in trend::worst_window_stall_fracs(before) {
+        if let Some((_, a)) = after_stall.iter().find(|(s, _)| *s == scope) {
+            println!(
+                "{label}: worst-window stall fraction [{scope}]: {} -> {}",
+                fmt(b, 4),
+                fmt(*a, 4)
+            );
         }
     }
 }

@@ -3,8 +3,8 @@
 //!
 //! Each binary is executed as a real subprocess (the exact artifact `cargo
 //! run` would launch) with [`neura_bench::SCALE_MULT_ENV`] set so the
-//! workloads shrink to seconds even in debug builds. All sixteen
-//! invocations (fourteen binaries plus a serve-p99 tuner run and an
+//! workloads shrink to seconds even in debug builds. All seventeen
+//! invocations (fifteen binaries plus a serve-p99 tuner run and an
 //! analytic-cost serve run) execute
 //! concurrently on the same `neura_lab::Runner` scoped-thread pool the
 //! binaries themselves use for their sweeps. Beyond exit status 0 and
@@ -24,7 +24,7 @@ const SMOKE_MULT: &str = "32";
 
 /// Every smoke invocation: a unique label (also the artifact file stem),
 /// the binary path, the artifact's `bin` name and extra arguments.
-const INVOCATIONS: [(&str, &str, &str, &[&str]); 16] = [
+const INVOCATIONS: [(&str, &str, &str, &[&str]); 17] = [
     ("table1", env!("CARGO_BIN_EXE_table1"), "table1", &[]),
     ("table3", env!("CARGO_BIN_EXE_table3"), "table3", &[]),
     ("table4", env!("CARGO_BIN_EXE_table4"), "table4", &[]),
@@ -59,6 +59,16 @@ const INVOCATIONS: [(&str, &str, &str, &[&str]); 16] = [
         env!("CARGO_BIN_EXE_xval"),
         "xval",
         &["--dataset", "facebook", "--dataset", "wiki-Vote"],
+    ),
+    // Chip profiler sweep: two datasets prove the windowed-attribution
+    // loop and the profile artifact schema end to end (the full grid is
+    // a `just profile` job; conservation is enforced even at smoke scale
+    // via the flag).
+    (
+        "profile",
+        env!("CARGO_BIN_EXE_profile"),
+        "profile",
+        &["--dataset", "cora", "--dataset", "facebook", "--require-conservation"],
     ),
 ];
 
@@ -468,6 +478,126 @@ fn traced_serve_emits_a_thread_invariant_timeline() {
         .output()
         .expect("spawn timeline");
     assert!(!wrong.status.success(), "a plain run artifact is not a timeline");
+
+    std::fs::remove_dir_all(&json_dir).ok();
+}
+
+/// The profiled runs: `profile` and `serve --profile` emit
+/// `neura_lab.profile/v1` artifacts that are byte-identical across
+/// `NEURA_LAB_THREADS`, profiling leaves the `serve.json` bytes exactly
+/// as an unprofiled run writes them (the profiler is pure observation on
+/// the same memoised simulations), every profile summary conserves its
+/// stall taxonomy and cycle split, and `trend` headlines the worst-window
+/// stall fraction when diffing profile artifacts.
+#[test]
+fn profiled_runs_emit_thread_invariant_conserving_profiles() {
+    let json_dir = std::env::temp_dir().join(format!("neura_bench_profile_{}", std::process::id()));
+    std::fs::create_dir_all(&json_dir).expect("create artifact dir");
+
+    let run = |exe: &str, label: &str, threads: &str, extra: &[&std::ffi::OsStr]| {
+        let path = json_dir.join(format!("{label}.json"));
+        let mut command = Command::new(exe);
+        command
+            .arg("--json")
+            .arg(&path)
+            .args(extra)
+            .env(neura_bench::SCALE_MULT_ENV, SMOKE_MULT)
+            .env("NEURA_LAB_THREADS", threads);
+        let output = command.output().expect("spawn binary");
+        assert!(
+            output.status.success(),
+            "{label} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        std::fs::read_to_string(&path).expect("run artifact written")
+    };
+    let dataset: &[&std::ffi::OsStr] =
+        &["--dataset".as_ref(), "cora".as_ref(), "--hbm".as_ref(), "hbm2".as_ref()];
+
+    // The standalone sweep binary: byte-identical profiles at 2 vs 8
+    // worker threads (the runner collects in input order by contract).
+    let profile_exe = env!("CARGO_BIN_EXE_profile");
+    let sweep_two = run(profile_exe, "sweep_t2", "2", dataset);
+    let sweep_eight = run(profile_exe, "sweep_t8", "8", dataset);
+    assert_eq!(sweep_two, sweep_eight, "profile.json bytes depend on the thread count");
+
+    // The serving layer: --profile leaves serve.json untouched and the
+    // profile artifact is equally thread-invariant.
+    let serve_exe = env!("CARGO_BIN_EXE_serve");
+    let profile_two = json_dir.join("serve_profile_t2.json");
+    let profile_eight = json_dir.join("serve_profile_t8.json");
+    let unprofiled = run(serve_exe, "serve_plain", "2", &[]);
+    let profiled_two =
+        run(serve_exe, "serve_t2", "2", &["--profile".as_ref(), profile_two.as_ref()]);
+    let profiled_eight =
+        run(serve_exe, "serve_t8", "8", &["--profile".as_ref(), profile_eight.as_ref()]);
+    assert_eq!(unprofiled, profiled_two, "profiling must not perturb the serve artifact");
+    assert_eq!(profiled_two, profiled_eight);
+    let profile_bytes = std::fs::read_to_string(&profile_two).expect("profile written");
+    assert_eq!(
+        profile_bytes,
+        std::fs::read_to_string(&profile_eight).expect("profile written"),
+        "serve-profile artifact bytes depend on the thread count"
+    );
+
+    // Both artifacts carry the profile schema and conserve: taxonomy
+    // buckets sum to the stall cycles and busy + stall + idle (epilogue
+    // included) covers cores × total_cycles, per summary record.
+    for bytes in [&sweep_two, &profile_bytes] {
+        let artifact = Artifact::from_json(&parse_json(bytes).expect("profile parses"))
+            .expect("profile follows the artifact schema");
+        assert_eq!(artifact.schema, neura_lab::PROFILE_SCHEMA);
+        let summaries: Vec<_> = artifact
+            .records
+            .iter()
+            .filter_map(|r| r.id.strip_suffix("/profile").map(|scope| (scope, r)))
+            .collect();
+        assert!(!summaries.is_empty(), "the profile artifact names no profiled runs");
+        for (scope, record) in &summaries {
+            let metric = |name: &str| {
+                record.metric_value(name).unwrap_or_else(|| panic!("{scope} lacks {name}"))
+            };
+            let buckets = metric("stall_operand_fetch")
+                + metric("stall_hashpad_full")
+                + metric("stall_noc_backpressure")
+                + metric("stall_dispatch_starvation");
+            assert_eq!(buckets, metric("stall_cycles"), "{scope}: taxonomy does not conserve");
+            let split = metric("busy_cycles")
+                + metric("stall_cycles")
+                + metric("idle_cycles")
+                + metric("epilogue_idle_cycles");
+            assert_eq!(
+                split,
+                metric("cores") * metric("total_cycles"),
+                "{scope}: cycle split does not conserve"
+            );
+            assert!(metric("worst_window_stall_frac") <= 1.0, "{scope}: stall frac > 1");
+        }
+        assert!(
+            artifact.records.iter().any(|r| r.id.contains("/window/")),
+            "the profile artifact has no per-window records"
+        );
+    }
+
+    // trend understands the schema: a self-diff headlines the worst-window
+    // stall fraction instead of warning about an unknown artifact.
+    let trend = Command::new(env!("CARGO_BIN_EXE_trend"))
+        .arg(json_dir.join("sweep_t2.json"))
+        .arg(json_dir.join("sweep_t8.json"))
+        .arg("--fail-above")
+        .arg("0")
+        .output()
+        .expect("spawn trend");
+    let stdout = String::from_utf8_lossy(&trend.stdout);
+    assert!(
+        trend.status.success(),
+        "trend rejected identical profile artifacts:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&trend.stderr)
+    );
+    assert!(
+        stdout.contains("worst-window stall fraction"),
+        "trend did not headline the stall fraction:\n{stdout}"
+    );
 
     std::fs::remove_dir_all(&json_dir).ok();
 }

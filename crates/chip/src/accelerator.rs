@@ -21,6 +21,7 @@ use crate::isa::HaccInstruction;
 use crate::mapping::ComputeMapping;
 use crate::neuracore::NeuraCore;
 use crate::neuramem::NeuraMem;
+use crate::profile::Profiler;
 use neura_mem::{MemoryController, MemoryRequest, RequestId};
 use neura_noc::{Packet, TorusNetwork, TorusTopology};
 use neura_sim::{Cycle, Histogram};
@@ -104,6 +105,8 @@ pub struct ExecutionReport {
     pub noc_packets: u64,
     /// Mean NoC packet latency.
     pub noc_mean_latency: f64,
+    /// Mean NoC hop count of delivered packets.
+    pub noc_mean_hops: f64,
     /// Peak HashPad occupancy across all NeuraMems.
     pub peak_hashpad_occupancy: usize,
     /// Cycles lost to a full HashPad.
@@ -180,6 +183,28 @@ impl Accelerator {
     /// Returns [`ChipError::Shape`] when the shapes are incompatible and
     /// [`ChipError::Incomplete`] if the simulation fails to drain.
     pub fn run_spgemm(&mut self, a: &CsrMatrix, b: &CsrMatrix) -> Result<SpgemmRun, ChipError> {
+        self.run_spgemm_profiled(a, b, None)
+    }
+
+    /// [`Self::run_spgemm`] with an optional [`Profiler`] attached.
+    ///
+    /// With `Some(profiler)` the run loop feeds the profiler once per
+    /// cycle (windowed busy/stall/idle attribution, stall taxonomy, hop
+    /// and DRAM-latency distributions); call
+    /// [`Profiler::into_profile`] afterwards. With `None` this is
+    /// exactly [`Self::run_spgemm`]: nothing is constructed and the
+    /// simulation is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run_spgemm`]. On error the profiler is left
+    /// unfinalized (there is no complete run to profile).
+    pub fn run_spgemm_profiled(
+        &mut self,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        profiler: Option<&mut Profiler>,
+    ) -> Result<SpgemmRun, ChipError> {
         if a.cols() != b.rows() {
             return Err(ChipError::Shape(SparseError::ShapeMismatch {
                 left: (a.rows(), a.cols()),
@@ -187,7 +212,7 @@ impl Accelerator {
             }));
         }
         let program = compiler::compile_spgemm(&a.to_csc(), b, self.config.mmh_tile);
-        let (outputs, report) = self.run_program(&program)?;
+        let (outputs, report) = self.run_program_profiled(&program, profiler)?;
         let mut coo = CooMatrix::new(a.rows(), b.cols());
         for (&tag, &value) in &outputs {
             let (r, c) = program.coords_of(tag);
@@ -235,6 +260,20 @@ impl Accelerator {
     pub fn run_program(
         &mut self,
         program: &Program,
+    ) -> Result<(HashMap<u64, f64>, ExecutionReport), ChipError> {
+        self.run_program_profiled(program, None)
+    }
+
+    /// [`Self::run_program`] with an optional [`Profiler`] attached (see
+    /// [`Self::run_spgemm_profiled`] for the contract).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run_program`].
+    pub fn run_program_profiled(
+        &mut self,
+        program: &Program,
+        mut profiler: Option<&mut Profiler>,
     ) -> Result<(HashMap<u64, f64>, ExecutionReport), ChipError> {
         let cfg = &self.config;
         let total_cores = cfg.total_cores();
@@ -285,6 +324,16 @@ impl Accelerator {
         let mut drained = false;
         while cycle < max_cycles {
             let now = Cycle(cycle);
+            // When profiling, snapshot the counters whose per-cycle deltas
+            // feed the stall taxonomy; `None` takes none of these branches.
+            let baselines = profiler.as_deref_mut().map(|prof| {
+                prof.begin_cycle(cycle);
+                let mems_totals = mems
+                    .iter()
+                    .map(|m| (m.stats().pad_full_stalls, m.stats().haccs_processed))
+                    .fold((0u64, 0u64), |acc, (pads, haccs)| (acc.0 + pads, acc.1 + haccs));
+                (dispatcher.stats().dispatched, noc.stats().injection_rejected, mems_totals)
+            });
 
             // (1) Dispatch MMH instructions.
             let can_accept: Vec<bool> = cores.iter().map(NeuraCore::can_accept).collect();
@@ -292,6 +341,12 @@ impl Accelerator {
             let _rows_crossed = dispatcher.dispatch_cycle(&can_accept, &load, |core_idx, instr| {
                 cores[core_idx].accept(instr)
             });
+            if let Some(prof) = profiler.as_deref_mut() {
+                let (dispatched_before, _, _) = baselines.expect("snapshot taken when profiling");
+                if !dispatcher.is_done() && dispatcher.stats().dispatched == dispatched_before {
+                    prof.note_dispatch_starved();
+                }
+            }
 
             // Barrier-eviction baseline: completed hash-lines are only
             // released under capacity pressure (the "emergency barrier"),
@@ -321,6 +376,9 @@ impl Accelerator {
             for (core_idx, core) in cores.iter_mut().enumerate() {
                 let credit = if retry_injections.len() > 256 { 0 } else { cfg.core.ports };
                 let out = core.tick(now, credit);
+                if let Some(prof) = profiler.as_deref_mut() {
+                    prof.record_core_tick(out.outcome, out.mmh_retired);
+                }
                 let tile = core.tile();
                 for req in out.memory_requests {
                     match controllers[tile].submit(req.request, now) {
@@ -364,9 +422,18 @@ impl Accelerator {
                 }
             }
             retry_injections = still_waiting;
+            if let Some(prof) = profiler.as_deref_mut() {
+                let (_, rejected_before, _) = baselines.expect("snapshot taken when profiling");
+                if noc.stats().injection_rejected > rejected_before {
+                    prof.note_noc_backpressure();
+                }
+            }
 
             // (6) Advance the NoC.
             noc.tick(now);
+            if let Some(prof) = profiler.as_deref_mut() {
+                prof.record_noc_in_flight(noc.in_flight() as u64);
+            }
 
             // (7) Deliver HACCs to NeuraMems and tick them.
             let mut still_pending_accepts = Vec::new();
@@ -379,6 +446,9 @@ impl Accelerator {
 
             for (mem_idx, mem) in mems.iter_mut().enumerate() {
                 for packet in noc.drain_delivered(mem_node(mem_idx)) {
+                    if let Some(prof) = profiler.as_deref_mut() {
+                        prof.record_hops(packet.hops);
+                    }
                     let hacc = packet_payloads
                         .remove(&packet.id)
                         .expect("every delivered packet has a registered payload");
@@ -403,6 +473,20 @@ impl Accelerator {
             retry_writebacks
                 .retain(|(tile, request)| controllers[*tile].submit(*request, now).is_none());
 
+            if let Some(prof) = profiler.as_deref_mut() {
+                let (_, _, (pads_before, haccs_before)) =
+                    baselines.expect("snapshot taken when profiling");
+                let mut pads = 0u64;
+                let mut haccs = 0u64;
+                let mut occupancy = 0u64;
+                for mem in &mems {
+                    pads += mem.stats().pad_full_stalls;
+                    haccs += mem.stats().haccs_processed;
+                    occupancy += mem.occupancy() as u64;
+                }
+                prof.record_mems(occupancy, pads - pads_before, haccs - haccs_before);
+            }
+
             // (3, 4) Tick the memory controllers and deliver read responses.
             completed_responses.clear();
             let mut in_flight_now = 0usize;
@@ -410,6 +494,13 @@ impl Accelerator {
                 let mut done = Vec::new();
                 controller.tick(now, &mut done);
                 in_flight_now += controller.in_flight();
+                if let Some(prof) = profiler.as_deref_mut() {
+                    let (reads, writes) = controller.queue_depths();
+                    prof.record_channel(tile, (reads + writes) as u64);
+                    for response in &done {
+                        prof.record_dram_response(response.latency());
+                    }
+                }
                 for response in done {
                     if response.request.is_read() {
                         if let Some((core_idx, pipeline)) = read_owner.remove(&(tile, response.id))
@@ -422,6 +513,10 @@ impl Accelerator {
             }
             in_flight_samples += in_flight_now as u128;
             peak_in_flight = peak_in_flight.max(in_flight_now);
+            if let Some(prof) = profiler.as_deref_mut() {
+                prof.record_hbm_in_flight(in_flight_now as u64);
+                prof.end_cycle();
+            }
 
             // Termination check.
             let machine_idle = dispatcher.is_done()
@@ -460,6 +555,13 @@ impl Accelerator {
                     for controller in controllers.iter_mut() {
                         let mut done = Vec::new();
                         controller.tick(now, &mut done);
+                        if let Some(prof) = profiler.as_deref_mut() {
+                            // Epilogue write-backs count toward the aggregate
+                            // DRAM-latency distribution (no window is open).
+                            for response in &done {
+                                prof.record_dram_response(response.latency());
+                            }
+                        }
                     }
                     cycle += 1;
                 }
@@ -481,6 +583,9 @@ impl Accelerator {
 
         // --- assemble the report --------------------------------------------
         let total_cycles = cycle;
+        if let Some(prof) = profiler {
+            prof.finalize(total_cycles, total_cores as u64, total_mems as u64, cfg.tiles as u64);
+        }
         let mut mmh_cpi_histogram = Histogram::new(25, 20);
         let mut hacc_latency_histogram = Histogram::new(50, 20);
         let mut core_busy = 0u64;
@@ -556,6 +661,7 @@ impl Accelerator {
             mean_dram_latency,
             noc_packets: noc.stats().delivered,
             noc_mean_latency: noc.stats().mean_latency(),
+            noc_mean_hops: noc.stats().mean_hops(),
             peak_hashpad_occupancy: peak_pad,
             hashpad_full_stalls: pad_stalls,
             hash_collisions: collisions,

@@ -22,6 +22,9 @@
 //! * [`accelerator`] — the full chip assembly and cycle-level execution,
 //! * [`analytic`] — the closed-form fast-path cost model fitted from
 //!   cycle-level runs (two-tier pricing: analytic estimate, cycle oracle),
+//! * [`profile`] — the opt-in chip profiler: windowed cycle attribution,
+//!   a stall taxonomy with conservation invariants, hop/DRAM-latency
+//!   distributions (zero-cost and byte-identical when off),
 //! * [`gcn`] — GCN layer execution (aggregation + combination),
 //! * [`power`] — the area/power/efficiency model behind Tables 4 and 5.
 //!
@@ -55,8 +58,10 @@ pub mod mapping;
 pub mod neuracore;
 pub mod neuramem;
 pub mod power;
+pub mod profile;
 
 pub use accelerator::{Accelerator, ExecutionReport, SpgemmRun};
 pub use analytic::{AnalyticModel, WorkloadFeatures};
 pub use config::{ChipConfig, TileSize};
 pub use mapping::MappingKind;
+pub use profile::{Profile, ProfileWindow, Profiler, StallCause};

@@ -62,6 +62,21 @@ pub struct CoreMemoryRequest {
     pub request: MemoryRequest,
 }
 
+/// How a core spent one tick — exactly one of the three, with the same
+/// precedence the cycle counters use (`busy` wins over `stalled` wins
+/// over `idle`). The profiler reads this off [`CoreTickOutput`] so stall
+/// attribution never needs to diff the stats block mid-run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// At least one pipeline decoded or computed this cycle.
+    Busy,
+    /// Every active pipeline was waiting on outstanding memory responses.
+    Stalled,
+    /// No pipeline had work.
+    #[default]
+    Idle,
+}
+
 /// Output of one [`NeuraCore::tick`] call.
 #[derive(Debug, Default)]
 pub struct CoreTickOutput {
@@ -69,6 +84,10 @@ pub struct CoreTickOutput {
     pub memory_requests: Vec<CoreMemoryRequest>,
     /// HACC instructions produced this cycle (already stamped with `generated_at`).
     pub haccs: Vec<HaccInstruction>,
+    /// How the core spent the tick (mirrors the busy/stall/idle counters).
+    pub outcome: TickOutcome,
+    /// MMH instructions retired this tick (pipelines that finished Compute).
+    pub mmh_retired: u32,
 }
 
 #[derive(Debug)]
@@ -315,6 +334,7 @@ impl NeuraCore {
                     }
                     if *produced >= total {
                         self.stats.mmh_completed += 1;
+                        output.mmh_retired += 1;
                         self.cpi_histogram.record(cycle.saturating_sub(*started) + 1);
                         pipeline.state = PipelineState::Idle;
                     } else if self.outbox.len() >= outbox_cap {
@@ -333,10 +353,13 @@ impl NeuraCore {
 
         if any_busy {
             self.stats.busy_cycles += 1;
+            output.outcome = TickOutcome::Busy;
         } else if any_stalled {
             self.stats.stall_cycles += 1;
+            output.outcome = TickOutcome::Stalled;
         } else {
             self.stats.idle_cycles += 1;
+            output.outcome = TickOutcome::Idle;
         }
         output
     }

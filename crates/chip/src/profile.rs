@@ -1,0 +1,525 @@
+//! Opt-in chip-level profiler: windowed cycle attribution and a stall
+//! taxonomy for the cycle simulator.
+//!
+//! [`crate::ExecutionReport`] is an end-of-run aggregate — it can say
+//! *that* `core_stall_cycles` is high, never *when* or *why*. The
+//! profiler adds the missing axes without touching the fast path: the
+//! accelerator's run loop takes an `Option<&mut Profiler>`, and with
+//! `None` it constructs nothing, records nothing and stays byte-identical
+//! (the same contract the serving layer's `--trace` keeps for
+//! `serve.json`). With `Some`, the loop feeds the profiler once per
+//! cycle and the profiler folds the observations into:
+//!
+//! 1. a **windowed timeline** — per fixed-width cycle window the
+//!    per-core busy/stall/idle split, MMH/HACC retire counts, chip-wide
+//!    HashPad occupancy peak and full-stall cycles, the NoC's peak
+//!    packets in flight, and HBM's peak in-flight transactions and
+//!    queued requests;
+//! 2. a **stall taxonomy** — every core stall cycle is attributed to one
+//!    [`StallCause`] by the dominant chip-level condition of that cycle,
+//!    with precedence HashPad-full > NoC backpressure > dispatch
+//!    starvation > operand fetch (a stalled NeuraCore is mechanically
+//!    always waiting on operand reads; the taxonomy names the upstream
+//!    condition that made those reads slow). Because classification
+//!    happens exactly once per observed stall, the buckets sum to
+//!    `core_stall_cycles` *by construction*, and
+//!    busy + stall + idle = `cores × total_cycles` once the write-back
+//!    drain epilogue (where cores no longer tick) is padded as idle;
+//! 3. **distributions** — an exact per-hop-count packet histogram (its
+//!    weighted total equals `NetworkStats::total_hops`), plus mergeable
+//!    [`LatencyHistogram`]s of hop counts and DRAM request latencies for
+//!    percentile reporting.
+//!
+//! The NoC and memory-controller signals come in through their public
+//! observation surface (`Packet::hops` on drained packets,
+//! `TorusNetwork::hop_histogram`, `MemoryController::queue_depths`)
+//! rather than by threading the profiler *into* those crates — they sit
+//! below `neura_chip` in the workspace DAG, and the accelerator already
+//! owns the only loop that sees every unit every cycle.
+//!
+//! Profiles serialize through `neura_lab` as a versioned
+//! `neura_lab.profile/v1` artifact; the `profile` binary sweeps
+//! (dataset × tile × HBM preset) and gates on the invariants, and
+//! `serve --profile` emits one profile per (fingerprint, request class).
+
+use neura_sim::LatencyHistogram;
+
+/// Why a core stall cycle happened, by the dominant chip-level condition
+/// of that cycle (see the module docs for the precedence order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Plain operand-fetch latency: the HBM round trip itself, with no
+    /// upstream pressure observed that cycle.
+    OperandFetch,
+    /// A HashPad registered full-pad stalls that cycle: the accumulation
+    /// side is saturated and its evictions compete with operand reads.
+    HashpadFull,
+    /// The NoC refused injections that cycle: router buffers are full
+    /// and the resulting head-of-line blocking backs up the cores.
+    NocBackpressure,
+    /// The dispatcher had rows left but placed no instruction that
+    /// cycle: cores starve behind an imbalanced tail.
+    DispatchStarvation,
+}
+
+impl StallCause {
+    /// Every cause, in bucket order.
+    pub const ALL: [StallCause; 4] = [
+        StallCause::OperandFetch,
+        StallCause::HashpadFull,
+        StallCause::NocBackpressure,
+        StallCause::DispatchStarvation,
+    ];
+
+    /// Stable snake_case name (used for metric names).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::OperandFetch => "operand_fetch",
+            StallCause::HashpadFull => "hashpad_full",
+            StallCause::NocBackpressure => "noc_backpressure",
+            StallCause::DispatchStarvation => "dispatch_starvation",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StallCause::OperandFetch => 0,
+            StallCause::HashpadFull => 1,
+            StallCause::NocBackpressure => 2,
+            StallCause::DispatchStarvation => 3,
+        }
+    }
+}
+
+/// One fixed-width cycle window of the profile timeline. All core-cycle
+/// fields count `(core, cycle)` pairs, so per window
+/// `busy + stall + idle = cores × cycles-observed-in-window`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileWindow {
+    /// First cycle of the window.
+    pub start_cycle: u64,
+    /// Cycles the window actually observed (the last window of a run is
+    /// usually short).
+    pub cycles: u64,
+    /// Core-cycles spent computing or decoding.
+    pub busy: u64,
+    /// Core-cycles stalled on outstanding memory responses.
+    pub stall: u64,
+    /// Core-cycles with no work.
+    pub idle: u64,
+    /// Stall core-cycles per [`StallCause`], indexed by `StallCause::index`.
+    pub stall_by: [u64; 4],
+    /// MMH instructions retired by all cores in the window.
+    pub mmh_retired: u64,
+    /// HACC instructions processed by all NeuraMems in the window.
+    pub hacc_retired: u64,
+    /// Peak chip-wide HashPad occupancy (lines in use, summed over mems).
+    pub pad_occupancy_peak: u64,
+    /// HashPad full-stall cycles registered in the window (summed over mems).
+    pub pad_full_stalls: u64,
+    /// Peak NoC packets in flight (buffered or awaiting pickup).
+    pub noc_in_flight_peak: u64,
+    /// Peak in-flight HBM transactions (summed over channels).
+    pub hbm_in_flight_peak: u64,
+    /// Peak queued-but-unissued HBM requests (summed over channels).
+    pub hbm_queue_peak: u64,
+}
+
+impl ProfileWindow {
+    /// Stall core-cycles attributed to `cause`.
+    pub fn stall_by_cause(&self, cause: StallCause) -> u64 {
+        self.stall_by[cause.index()]
+    }
+
+    /// Stalled fraction of the window's observed core-cycles.
+    pub fn stall_frac(&self) -> f64 {
+        let total = self.busy + self.stall + self.idle;
+        if total == 0 {
+            0.0
+        } else {
+            self.stall as f64 / total as f64
+        }
+    }
+}
+
+/// A finished profile: the windowed timeline, the stall taxonomy and the
+/// hop/DRAM-latency distributions of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Window width in cycles.
+    pub window_cycles: u64,
+    /// Total cycles of the run (including the write-back drain epilogue).
+    pub total_cycles: u64,
+    /// NeuraCores on the chip.
+    pub cores: u64,
+    /// NeuraMems on the chip.
+    pub mems: u64,
+    /// HBM channels (one memory controller per tile).
+    pub channels: u64,
+    /// The timeline, one entry per window in cycle order.
+    pub windows: Vec<ProfileWindow>,
+    /// Core-cycles busy over the whole run.
+    pub busy: u64,
+    /// Core-cycles stalled over the whole run (== `core_stall_cycles`).
+    pub stall: u64,
+    /// Core-cycles idle during the windowed (execute) phase.
+    pub idle: u64,
+    /// Core-cycles of the drain epilogue, where only the memory
+    /// controllers tick and every core is idle by definition.
+    pub epilogue_idle: u64,
+    /// Stall core-cycles per [`StallCause`], indexed by `StallCause::index`.
+    pub stall_by: [u64; 4],
+    /// MMH instructions retired over the run.
+    pub mmh_retired: u64,
+    /// HACC instructions processed over the run.
+    pub hacc_retired: u64,
+    /// Exact delivered-packet hop distribution: `hop_counts[h]` packets
+    /// crossed exactly `h` links. `Σ h × hop_counts[h]` equals the NoC's
+    /// `total_hops`.
+    pub hop_counts: Vec<u64>,
+    /// Mergeable hop histogram (for percentile reporting and fleet-level
+    /// aggregation; small integers bucket exactly).
+    pub hops: LatencyHistogram,
+    /// Mergeable DRAM request-latency histogram, in cycles.
+    pub dram_latency: LatencyHistogram,
+    /// Per-channel peak queued-but-unissued requests.
+    pub channel_queue_peaks: Vec<u64>,
+    /// Peak in-flight HBM transactions (summed over channels).
+    pub hbm_in_flight_peak: u64,
+}
+
+impl Profile {
+    /// Stall core-cycles attributed to `cause` over the whole run.
+    pub fn stall_by_cause(&self, cause: StallCause) -> u64 {
+        self.stall_by[cause.index()]
+    }
+
+    /// Total idle core-cycles including the drain epilogue.
+    pub fn idle_total(&self) -> u64 {
+        self.idle + self.epilogue_idle
+    }
+
+    /// Packets delivered by the NoC (the hop distribution's mass).
+    pub fn noc_delivered(&self) -> u64 {
+        self.hop_counts.iter().sum()
+    }
+
+    /// Total link crossings — must equal `NetworkStats::total_hops`.
+    pub fn hops_total(&self) -> u64 {
+        self.hop_counts.iter().enumerate().map(|(h, &n)| h as u64 * n).sum()
+    }
+
+    /// Stalled fraction of all core-cycles over the run.
+    pub fn stall_frac(&self) -> f64 {
+        let total = self.cores * self.total_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.stall as f64 / total as f64
+        }
+    }
+
+    /// Index and stall fraction of the worst (most-stalled) window; ties
+    /// resolve to the earliest window. `None` for an empty timeline.
+    pub fn worst_window(&self) -> Option<(usize, f64)> {
+        let mut worst: Option<(usize, f64)> = None;
+        for (index, window) in self.windows.iter().enumerate() {
+            let frac = window.stall_frac();
+            if worst.is_none_or(|(_, best)| frac > best) {
+                worst = Some((index, frac));
+            }
+        }
+        worst
+    }
+
+    /// Checks the profile's conservation invariants, returning the first
+    /// violation as a message:
+    ///
+    /// 1. taxonomy buckets sum exactly to the stall cycles, globally and
+    ///    per window;
+    /// 2. busy + stall + idle (epilogue included) equals
+    ///    `cores × total_cycles`, and each window's split covers exactly
+    ///    its observed cycles;
+    /// 3. the aggregate counters equal the sums of their windows.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let buckets: u64 = self.stall_by.iter().sum();
+        if buckets != self.stall {
+            return Err(format!(
+                "taxonomy buckets sum to {buckets} but core_stall_cycles is {}",
+                self.stall
+            ));
+        }
+        let split = self.busy + self.stall + self.idle_total();
+        let expected = self.cores * self.total_cycles;
+        if split != expected {
+            return Err(format!(
+                "busy+stall+idle is {split} but cores × total_cycles is {expected}"
+            ));
+        }
+        let mut sums = ProfileWindow::default();
+        for (w, window) in self.windows.iter().enumerate() {
+            let window_buckets: u64 = window.stall_by.iter().sum();
+            if window_buckets != window.stall {
+                return Err(format!(
+                    "window {w}: buckets sum to {window_buckets} but stall is {}",
+                    window.stall
+                ));
+            }
+            let window_split = window.busy + window.stall + window.idle;
+            if window_split != self.cores * window.cycles {
+                return Err(format!(
+                    "window {w}: busy+stall+idle is {window_split} over {} cycles of {} cores",
+                    window.cycles, self.cores
+                ));
+            }
+            sums.busy += window.busy;
+            sums.stall += window.stall;
+            sums.idle += window.idle;
+            sums.mmh_retired += window.mmh_retired;
+            sums.hacc_retired += window.hacc_retired;
+        }
+        for (name, aggregate, of_windows) in [
+            ("busy", self.busy, sums.busy),
+            ("stall", self.stall, sums.stall),
+            ("idle", self.idle, sums.idle),
+            ("mmh_retired", self.mmh_retired, sums.mmh_retired),
+            ("hacc_retired", self.hacc_retired, sums.hacc_retired),
+        ] {
+            if aggregate != of_windows {
+                return Err(format!(
+                    "aggregate {name} is {aggregate} but its windows sum to {of_windows}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-cycle scratch state, reset by [`Profiler::begin_cycle`] and folded
+/// into the current window by [`Profiler::end_cycle`].
+#[derive(Debug, Clone, Copy, Default)]
+struct CycleScratch {
+    busy: u64,
+    stall: u64,
+    idle: u64,
+    mmh_retired: u64,
+    hacc_retired: u64,
+    pad_full_stalls: u64,
+    noc_backpressure: bool,
+    dispatch_starved: bool,
+}
+
+/// The recording half: created by a caller, threaded through the
+/// accelerator's run loop as `Option<&mut Profiler>`, and consumed with
+/// [`Profiler::into_profile`] after the run.
+#[derive(Debug)]
+pub struct Profiler {
+    window_cycles: u64,
+    windows: Vec<ProfileWindow>,
+    scratch: CycleScratch,
+    in_cycle: bool,
+    observed_cycles: u64,
+    hop_counts: Vec<u64>,
+    hops: LatencyHistogram,
+    dram_latency: LatencyHistogram,
+    channel_queue_peaks: Vec<u64>,
+    hbm_in_flight_peak: u64,
+    finished: Option<Profile>,
+}
+
+/// Default window width: coarse enough that paper-scale runs stay in the
+/// hundreds of windows, fine enough that smoke runs still get several.
+pub const DEFAULT_WINDOW_CYCLES: u64 = 1024;
+
+impl Profiler {
+    /// Creates a profiler with the given window width in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window_cycles` is zero.
+    pub fn new(window_cycles: u64) -> Self {
+        assert!(window_cycles > 0, "profile window width must be positive");
+        Profiler {
+            window_cycles,
+            windows: Vec::new(),
+            scratch: CycleScratch::default(),
+            in_cycle: false,
+            observed_cycles: 0,
+            hop_counts: Vec::new(),
+            hops: LatencyHistogram::new(),
+            dram_latency: LatencyHistogram::new(),
+            channel_queue_peaks: Vec::new(),
+            hbm_in_flight_peak: 0,
+            finished: None,
+        }
+    }
+
+    /// The finished profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the profiler was never run through the accelerator.
+    pub fn into_profile(self) -> Profile {
+        self.finished.expect("profiler was not run: pass it to a *_profiled entry point first")
+    }
+
+    fn current_window(&mut self) -> &mut ProfileWindow {
+        self.windows.last_mut().expect("begin_cycle opened a window")
+    }
+
+    /// Opens cycle `cycle`, rolling to a new window at each boundary.
+    pub(crate) fn begin_cycle(&mut self, cycle: u64) {
+        debug_assert!(!self.in_cycle, "begin_cycle without end_cycle");
+        self.in_cycle = true;
+        self.observed_cycles += 1;
+        if self.windows.is_empty() || cycle.is_multiple_of(self.window_cycles) {
+            self.windows.push(ProfileWindow { start_cycle: cycle, ..ProfileWindow::default() });
+        }
+        self.current_window().cycles += 1;
+        self.scratch = CycleScratch::default();
+    }
+
+    /// Records one core's tick outcome and retire count.
+    pub(crate) fn record_core_tick(&mut self, outcome: crate::neuracore::TickOutcome, mmh: u32) {
+        use crate::neuracore::TickOutcome;
+        match outcome {
+            TickOutcome::Busy => self.scratch.busy += 1,
+            TickOutcome::Stalled => self.scratch.stall += 1,
+            TickOutcome::Idle => self.scratch.idle += 1,
+        }
+        self.scratch.mmh_retired += u64::from(mmh);
+    }
+
+    /// Marks that the NoC refused at least one injection this cycle.
+    pub(crate) fn note_noc_backpressure(&mut self) {
+        self.scratch.noc_backpressure = true;
+    }
+
+    /// Marks that the dispatcher had work but placed nothing this cycle.
+    pub(crate) fn note_dispatch_starved(&mut self) {
+        self.scratch.dispatch_starved = true;
+    }
+
+    /// Records one delivered packet's hop count.
+    pub(crate) fn record_hops(&mut self, hops: u32) {
+        let h = hops as usize;
+        if self.hop_counts.len() <= h {
+            self.hop_counts.resize(h + 1, 0);
+        }
+        self.hop_counts[h] += 1;
+        self.hops.record(f64::from(hops));
+    }
+
+    /// Samples the NoC's in-flight packet count after its tick.
+    pub(crate) fn record_noc_in_flight(&mut self, in_flight: u64) {
+        let window = self.current_window();
+        window.noc_in_flight_peak = window.noc_in_flight_peak.max(in_flight);
+    }
+
+    /// Records the mems' post-tick state: chip-wide pad occupancy, the
+    /// cycle's full-stall delta and HACCs processed.
+    pub(crate) fn record_mems(&mut self, occupancy: u64, pad_full_delta: u64, hacc_delta: u64) {
+        self.scratch.pad_full_stalls += pad_full_delta;
+        self.scratch.hacc_retired += hacc_delta;
+        let window = self.current_window();
+        window.pad_occupancy_peak = window.pad_occupancy_peak.max(occupancy);
+    }
+
+    /// Records one completed DRAM request's latency in cycles. Also
+    /// called during the drain epilogue (the histogram is aggregate, not
+    /// windowed, so late write-backs still count).
+    pub(crate) fn record_dram_response(&mut self, latency: u64) {
+        self.dram_latency.record(latency as f64);
+    }
+
+    /// Samples one channel's queue depth and the running in-flight total.
+    pub(crate) fn record_channel(&mut self, channel: usize, queued: u64) {
+        if self.channel_queue_peaks.len() <= channel {
+            self.channel_queue_peaks.resize(channel + 1, 0);
+        }
+        self.channel_queue_peaks[channel] = self.channel_queue_peaks[channel].max(queued);
+        let window = self.current_window();
+        window.hbm_queue_peak = window.hbm_queue_peak.max(queued);
+    }
+
+    /// Samples the chip-wide in-flight HBM transaction count.
+    pub(crate) fn record_hbm_in_flight(&mut self, in_flight: u64) {
+        self.hbm_in_flight_peak = self.hbm_in_flight_peak.max(in_flight);
+        let window = self.current_window();
+        window.hbm_in_flight_peak = window.hbm_in_flight_peak.max(in_flight);
+    }
+
+    /// Closes the cycle: attributes the cycle's stalls to their cause and
+    /// folds the scratch counters into the current window.
+    pub(crate) fn end_cycle(&mut self) {
+        debug_assert!(self.in_cycle, "end_cycle without begin_cycle");
+        self.in_cycle = false;
+        let scratch = self.scratch;
+        let cause = if scratch.pad_full_stalls > 0 {
+            StallCause::HashpadFull
+        } else if scratch.noc_backpressure {
+            StallCause::NocBackpressure
+        } else if scratch.dispatch_starved {
+            StallCause::DispatchStarvation
+        } else {
+            StallCause::OperandFetch
+        };
+        let window = self.current_window();
+        window.busy += scratch.busy;
+        window.stall += scratch.stall;
+        window.idle += scratch.idle;
+        window.stall_by[cause.index()] += scratch.stall;
+        window.mmh_retired += scratch.mmh_retired;
+        window.hacc_retired += scratch.hacc_retired;
+        window.pad_full_stalls += scratch.pad_full_stalls;
+    }
+
+    /// Seals the profile once the run drains. `total_cycles` includes the
+    /// write-back epilogue the windows never saw; its core-cycles become
+    /// [`Profile::epilogue_idle`] so busy + stall + idle conserves to
+    /// `cores × total_cycles`.
+    pub(crate) fn finalize(&mut self, total_cycles: u64, cores: u64, mems: u64, channels: u64) {
+        debug_assert!(!self.in_cycle, "finalize inside an open cycle");
+        let windows = std::mem::take(&mut self.windows);
+        let mut sums = ProfileWindow::default();
+        let mut stall_by = [0u64; 4];
+        for window in &windows {
+            sums.busy += window.busy;
+            sums.stall += window.stall;
+            sums.idle += window.idle;
+            for (bucket, &count) in stall_by.iter_mut().zip(&window.stall_by) {
+                *bucket += count;
+            }
+            sums.mmh_retired += window.mmh_retired;
+            sums.hacc_retired += window.hacc_retired;
+        }
+        let observed = sums.busy + sums.stall + sums.idle;
+        let expected = cores * total_cycles;
+        assert!(
+            observed <= expected,
+            "profiler observed {observed} core-cycles but the run only spans {expected}"
+        );
+        let mut channel_queue_peaks = std::mem::take(&mut self.channel_queue_peaks);
+        channel_queue_peaks.resize(channels as usize, 0);
+        self.finished = Some(Profile {
+            window_cycles: self.window_cycles,
+            total_cycles,
+            cores,
+            mems,
+            channels,
+            windows,
+            busy: sums.busy,
+            stall: sums.stall,
+            idle: sums.idle,
+            epilogue_idle: expected - observed,
+            stall_by,
+            mmh_retired: sums.mmh_retired,
+            hacc_retired: sums.hacc_retired,
+            hop_counts: std::mem::take(&mut self.hop_counts),
+            hops: std::mem::take(&mut self.hops),
+            dram_latency: std::mem::take(&mut self.dram_latency),
+            channel_queue_peaks,
+            hbm_in_flight_peak: self.hbm_in_flight_peak,
+        });
+    }
+}

@@ -59,7 +59,8 @@ pub mod trend;
 pub mod tune;
 
 pub use report::{
-    fmt, parse_json, print_table, Artifact, JsonValue, Metric, RunRecord, SCHEMA, TIMELINE_SCHEMA,
+    fmt, parse_json, print_table, profile_records, Artifact, JsonValue, Metric, RunRecord,
+    PROFILE_SCHEMA, SCHEMA, TIMELINE_SCHEMA,
 };
 pub use runner::Runner;
 pub use spec::{ExperimentSpec, SweepGrid, SweepPoint};

@@ -27,6 +27,13 @@ pub const SCHEMA: &str = "neura_lab.artifact/v1";
 /// `serve.json`), so tooling uses the tag to tell the two apart.
 pub const TIMELINE_SCHEMA: &str = "neura_lab.timeline/v1";
 
+/// Schema tag for chip-profile artifacts (the cycle simulator's windowed
+/// stall attribution, emitted by `profile` and `serve --profile`). Same
+/// document shape as [`SCHEMA`]; record IDs follow the `{scope}/profile` +
+/// `{scope}/window/NNN` + `{scope}/hops` + `{scope}/channel/NN`
+/// convention produced by [`profile_records`].
+pub const PROFILE_SCHEMA: &str = "neura_lab.profile/v1";
+
 /// Directory (relative to the working directory) where artifacts land when
 /// `--json` is given without an explicit path.
 pub const ARTIFACT_DIR: &str = "target/artifacts";
@@ -496,7 +503,98 @@ impl RunRecord {
             .unit_metric("dram_bytes_written", report.dram_bytes_written as f64, "bytes")
             .metric("noc_packets", report.noc_packets as f64)
             .unit_metric("execution_seconds", report.execution_seconds, "s")
+            .unit_metric("core_busy_cycles", report.core_busy_cycles as f64, "core-cycles")
+            .unit_metric("core_stall_cycles", report.core_stall_cycles as f64, "core-cycles")
+            .unit_metric("core_idle_cycles", report.core_idle_cycles as f64, "core-cycles")
+            .metric("avg_in_flight_mem", report.avg_in_flight_mem)
+            .metric("peak_in_flight_mem", report.peak_in_flight_mem as f64)
+            .unit_metric("mean_dram_latency", report.mean_dram_latency, "cycles")
+            .unit_metric("noc_mean_latency", report.noc_mean_latency, "cycles")
+            .metric("noc_mean_hops", report.noc_mean_hops)
     }
+}
+
+/// Flattens a chip [`Profile`](neura_chip::profile::Profile) into the
+/// records of a [`PROFILE_SCHEMA`] artifact: one `{scope}/profile`
+/// summary (whose `worst_window_stall_frac` is the trend headline), one
+/// `{scope}/window/NNN` record per timeline window, a `{scope}/hops`
+/// record carrying the exact hop distribution, and one
+/// `{scope}/channel/NN` record per HBM channel.
+pub fn profile_records(scope: &str, profile: &neura_chip::profile::Profile) -> Vec<RunRecord> {
+    use neura_chip::profile::StallCause;
+    let (worst_window, worst_frac) = profile.worst_window().unwrap_or((0, 0.0));
+    let hop_tails = profile.hops.percentiles(&[50.0, 99.0]);
+    let dram_tails = profile.dram_latency.percentiles(&[50.0, 99.0]);
+    let mut summary = RunRecord::new(format!("{scope}/profile"))
+        .unit_metric("window_cycles", profile.window_cycles as f64, "cycles")
+        .metric("windows", profile.windows.len() as f64)
+        .unit_metric("total_cycles", profile.total_cycles as f64, "cycles")
+        .metric("cores", profile.cores as f64)
+        .metric("mems", profile.mems as f64)
+        .metric("channels", profile.channels as f64)
+        .unit_metric("busy_cycles", profile.busy as f64, "core-cycles")
+        .unit_metric("stall_cycles", profile.stall as f64, "core-cycles")
+        .unit_metric("idle_cycles", profile.idle as f64, "core-cycles")
+        .unit_metric("epilogue_idle_cycles", profile.epilogue_idle as f64, "core-cycles")
+        .metric("stall_frac", profile.stall_frac())
+        .metric("worst_window", worst_window as f64)
+        .metric("worst_window_stall_frac", worst_frac);
+    for cause in StallCause::ALL {
+        summary = summary.unit_metric(
+            format!("stall_{}", cause.name()),
+            profile.stall_by_cause(cause) as f64,
+            "core-cycles",
+        );
+    }
+    summary = summary
+        .metric("mmh_retired", profile.mmh_retired as f64)
+        .metric("hacc_retired", profile.hacc_retired as f64)
+        .metric("noc_delivered", profile.noc_delivered() as f64)
+        .unit_metric("hops_total", profile.hops_total() as f64, "hops")
+        .unit_metric("hop_p50", hop_tails[0], "hops")
+        .unit_metric("hop_p99", hop_tails[1], "hops")
+        .metric("dram_requests", profile.dram_latency.count() as f64)
+        .unit_metric("dram_latency_p50", dram_tails[0], "cycles")
+        .unit_metric("dram_latency_p99", dram_tails[1], "cycles")
+        .metric("hbm_in_flight_peak", profile.hbm_in_flight_peak as f64);
+    let mut records = vec![summary];
+    for (w, window) in profile.windows.iter().enumerate() {
+        let mut record = RunRecord::new(format!("{scope}/window/{w:03}"))
+            .unit_metric("start_cycle", window.start_cycle as f64, "cycles")
+            .unit_metric("cycles", window.cycles as f64, "cycles")
+            .unit_metric("busy", window.busy as f64, "core-cycles")
+            .unit_metric("stall", window.stall as f64, "core-cycles")
+            .unit_metric("idle", window.idle as f64, "core-cycles")
+            .metric("stall_frac", window.stall_frac());
+        for cause in StallCause::ALL {
+            record = record.unit_metric(
+                format!("stall_{}", cause.name()),
+                window.stall_by_cause(cause) as f64,
+                "core-cycles",
+            );
+        }
+        records.push(
+            record
+                .metric("mmh_retired", window.mmh_retired as f64)
+                .metric("hacc_retired", window.hacc_retired as f64)
+                .metric("pad_occupancy_peak", window.pad_occupancy_peak as f64)
+                .unit_metric("pad_full_stalls", window.pad_full_stalls as f64, "cycles")
+                .metric("noc_in_flight_peak", window.noc_in_flight_peak as f64)
+                .metric("hbm_in_flight_peak", window.hbm_in_flight_peak as f64)
+                .metric("hbm_queue_peak", window.hbm_queue_peak as f64),
+        );
+    }
+    let mut hops = RunRecord::new(format!("{scope}/hops"));
+    for (h, &count) in profile.hop_counts.iter().enumerate() {
+        hops = hops.metric(format!("hops_{h:02}"), count as f64);
+    }
+    records.push(hops);
+    for (c, &peak) in profile.channel_queue_peaks.iter().enumerate() {
+        records.push(
+            RunRecord::new(format!("{scope}/channel/{c:02}")).metric("queue_peak", peak as f64),
+        );
+    }
+    records
 }
 
 /// A full artifact: every record one binary emitted in one invocation.
@@ -600,9 +698,9 @@ impl Artifact {
     /// schema can grow additively.
     pub fn from_json(doc: &JsonValue) -> Result<Self, String> {
         let schema = doc.get("schema").and_then(JsonValue::as_str).unwrap_or_default();
-        if schema != SCHEMA && schema != TIMELINE_SCHEMA {
+        if schema != SCHEMA && schema != TIMELINE_SCHEMA && schema != PROFILE_SCHEMA {
             return Err(format!(
-                "unsupported schema {schema:?} (expected {SCHEMA:?} or {TIMELINE_SCHEMA:?})"
+                "unsupported schema {schema:?} (expected {SCHEMA:?}, {TIMELINE_SCHEMA:?} or {PROFILE_SCHEMA:?})"
             ));
         }
         let bin = doc.get("bin").and_then(JsonValue::as_str).ok_or("missing \"bin\"")?.to_string();

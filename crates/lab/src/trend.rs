@@ -157,6 +157,21 @@ pub fn worst_window_p99s(artifact: &Artifact) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// The worst-window stall fractions a chip-profile artifact carries: one
+/// `(scope, worst_window_stall_frac)` pair per `{scope}/profile` summary
+/// record, in emission order. Empty for run and timeline artifacts, so
+/// callers can print a profile-specific headline only when there is one.
+pub fn worst_window_stall_fracs(artifact: &Artifact) -> Vec<(String, f64)> {
+    artifact
+        .records
+        .iter()
+        .filter_map(|r| {
+            let scope = r.id.strip_suffix("/profile")?;
+            r.metric_value("worst_window_stall_frac").map(|v| (scope.to_string(), v))
+        })
+        .collect()
+}
+
 /// Reads and parses one artifact file.
 ///
 /// # Errors

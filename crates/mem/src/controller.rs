@@ -137,6 +137,12 @@ impl MemoryController {
         self.in_flight.len()
     }
 
+    /// Queued-but-unissued requests as `(reads, writes)` — the per-channel
+    /// queue-depth signal the chip profiler samples each cycle.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        (self.read_queue.len(), self.write_queue.len())
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> &ControllerStats {
         &self.stats

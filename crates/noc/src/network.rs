@@ -51,6 +51,7 @@ pub struct TorusNetwork {
     links_per_cycle: usize,
     stats: NetworkStats,
     latency_histogram: Histogram,
+    hop_histogram: Histogram,
     name: String,
     /// Packets delivered to their destination, awaiting pickup by the
     /// attached component: `(destination node, packet)`.
@@ -67,6 +68,7 @@ impl TorusNetwork {
             links_per_cycle: 2,
             stats: NetworkStats::default(),
             latency_histogram: Histogram::new(4, 64),
+            hop_histogram: Histogram::new(1, 64),
             name: format!("torus-{}x{}", topology.width(), topology.height()),
             delivered_store: Vec::new(),
         }
@@ -127,6 +129,7 @@ impl TorusNetwork {
                 self.stats.total_hops += u64::from(packet.hops);
                 self.stats.bytes_delivered += packet.bytes as u64;
                 self.latency_histogram.record(packet.latency(now));
+                self.hop_histogram.record(u64::from(packet.hops));
                 // Hand the packet back to the destination router's delivery
                 // queue for pickup by the attached component.
                 self.delivered_store.push((packet.dst, packet));
@@ -162,6 +165,14 @@ impl TorusNetwork {
     /// Histogram of delivered-packet latencies.
     pub fn latency_histogram(&self) -> &Histogram {
         &self.latency_histogram
+    }
+
+    /// Histogram of delivered-packet hop counts (bin width 1, so bin `i`
+    /// counts packets that crossed exactly `i` router-to-router links;
+    /// its total always equals [`NetworkStats::total_hops`] summed over
+    /// `bin × count`).
+    pub fn hop_histogram(&self) -> &Histogram {
+        &self.hop_histogram
     }
 
     /// Per-router congestion (blocked cycles), indexed by node id.

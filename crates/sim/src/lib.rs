@@ -11,6 +11,8 @@
 //! * [`Engine`] — the driver that ticks components until the machine drains,
 //! * [`stats`] — counters, histograms and time-series used to produce every
 //!   figure in the paper (CPI histograms, utilisation traces, …),
+//! * [`LatencyHistogram`] — mergeable log-bucketed percentile state shared
+//!   by the serving telemetry and the chip-level profiler,
 //! * [`rng`] — a small deterministic RNG so simulations are reproducible
 //!   without depending on global random state.
 //!
@@ -55,6 +57,7 @@
 pub mod component;
 pub mod cycle;
 pub mod engine;
+pub mod latency;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -62,6 +65,7 @@ pub mod stats;
 pub use component::Component;
 pub use cycle::Cycle;
 pub use engine::{Engine, RunReport};
+pub use latency::{LatencyHistogram, RELATIVE_ERROR_BOUND, SUB_BUCKET_BITS};
 pub use queue::{LatencyQueue, QueueFullError};
 pub use rng::DeterministicRng;
 pub use stats::{Counter, Histogram, StatsRegistry};

@@ -7,7 +7,7 @@
 bins := "table1 table3 table4 table5 fig11 fig13 fig14 fig15 fig16 fig17 ablation"
 
 # Run everything CI runs.
-ci: fmt clippy build test artifacts tune serve trace xval
+ci: fmt clippy build test artifacts tune serve trace xval profile
 
 # Formatting check (apply with `just fmt-fix`).
 fmt:
@@ -114,6 +114,32 @@ xval-rebaseline:
 xval-paper:
     cargo run --release -q -p neura_bench --bin xval -- --json
     ls -l target/artifacts/xval.json
+
+# Chip profiler sweep at smoke scale: a three-dataset slice of the
+# (dataset x tile x HBM) grid with windowed stall attribution, gated
+# byte-for-byte against the committed baseline (the profiled simulations
+# are deterministic, so any drift is a real simulator or profiler change
+# and must be re-baselined deliberately via `just profile-rebaseline`).
+# Conservation is enforced even at smoke scale.
+profile:
+    NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin profile -- --json \
+        --dataset facebook --dataset wiki-Vote --dataset cage12 --require-conservation
+    cargo run --release -q -p neura_bench --bin trend -- \
+        baselines/profile-smoke.json target/artifacts/profile.json --fail-above 0
+
+# Refresh the committed smoke baseline after an intentional simulator or
+# profiler change (review the trend diff first).
+profile-rebaseline:
+    NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin profile -- --json \
+        --dataset facebook --dataset wiki-Vote --dataset cage12 --require-conservation
+    cp target/artifacts/profile.json baselines/profile-smoke.json
+
+# The full profiler sweep at paper scale: all 20 datasets on size-matched
+# tiles across the HBM presets, strict conservation golden enforced.
+# Slow (~minutes of cycle sims).
+profile-paper:
+    cargo run --release -q -p neura_bench --bin profile -- --json
+    ls -l target/artifacts/profile.json
 
 # Diff two artifact files or directories (e.g. a saved copy of
 # target/artifacts/ against a fresh run): per-metric absolute/relative
