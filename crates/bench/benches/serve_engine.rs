@@ -1,0 +1,63 @@
+//! Criterion benchmark of the parallel-in-time serving engine: one large
+//! closed-loop scenario replayed serially, as epoch fragments, and as
+//! lane decompositions at increasing lane counts. The serial and epoch
+//! rows measure the same scenario (their outcomes are byte-identical by
+//! the engine's determinism contract), so their ratio is pure engine
+//! overhead; the lane rows measure the decomposed scenario that the
+//! `serve` binary's `--speedup` demo scales across cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neura_chip::config::ChipConfig;
+use neura_serve::{
+    simulate_config_parallel, ClassCost, ClosedLoopSpec, CostTable, DispatchKind, EnginePlan,
+    Policy, RequestClass, ServeConfig, ShardGroup, Workload,
+};
+
+fn costs() -> CostTable {
+    let mut table = CostTable::new();
+    let fp = table.register(&ChipConfig::tile_16());
+    for dataset in 0..2usize {
+        for shrink in [1usize, 2] {
+            let cycles = 2_000_000 * (dataset as u64 + 1) / shrink as u64;
+            table.insert(
+                &fp,
+                RequestClass { dataset, shrink },
+                ClassCost { cycles, flops: cycles },
+            );
+        }
+    }
+    table
+}
+
+fn bench_serve_engine(c: &mut Criterion) {
+    let costs = costs();
+    let fleet = vec![ShardGroup::new("t16", ChipConfig::tile_16(), 8)];
+    let cfg = ServeConfig::new(Policy::Fifo, &fleet, DispatchKind::LeastLoaded, &costs);
+    let workload = Workload::Closed(ClosedLoopSpec {
+        clients: 4_096,
+        think_s: 0.001,
+        duration_s: 0.5,
+        mix_size: 2,
+        shrinks: vec![1, 2],
+        seed: 0x5EED,
+    });
+
+    let mut group = c.benchmark_group("serve_engine");
+    group.sample_size(10);
+    let plans = [
+        ("serial", EnginePlan::serial()),
+        ("epochs8", EnginePlan::serial().with_epochs(8)),
+        ("lanes2", EnginePlan::serial().with_lanes(2)),
+        ("lanes4", EnginePlan::serial().with_lanes(4)),
+        ("lanes8", EnginePlan::serial().with_lanes(8)),
+    ];
+    for (name, plan) in &plans {
+        group.bench_with_input(BenchmarkId::from_parameter(name), plan, |b, plan| {
+            b.iter(|| simulate_config_parallel(&workload, &cfg, plan).requests());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_engine);
+criterion_main!(benches);

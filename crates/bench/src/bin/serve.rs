@@ -48,6 +48,19 @@
 //!   simulations (cycle cost model only) and emit one
 //!   `neura_lab.profile/v1` profile per (chip fingerprint, request class)
 //!   beside the run artifact (default `target/artifacts/serve-profile.json`)
+//! - `--epochs N` / `--epoch-ms X` — run every scenario replay through the
+//!   parallel-in-time engine (`neura_serve::engine`): the timeline splits
+//!   into N equal epochs (or epochs of X simulated milliseconds) whose
+//!   fragments replay concurrently and merge at the boundaries; the merged
+//!   artifact is byte-identical to the serial replay
+//! - `--lanes L` — split eligible closed-loop scenarios into L independent
+//!   client/shard lanes that replay concurrently (a *scenario parameter*:
+//!   results are thread-count invariant at a fixed lane count)
+//! - `--no-meta` — suppress the wall-clock/engine meta fields in the
+//!   artifact, so byte-comparison across thread counts stays exact
+//! - `--speedup` — after the sweep, replay one large closed-loop lane
+//!   scenario twice (single-threaded, then on the full pool), assert the
+//!   outcomes identical and report the measured speedup
 //!
 //! Without fleet/dispatch/clients/autoscale flags, three comparison arms
 //! ride along with the classic shard-scaling sweep: a heterogeneous
@@ -77,9 +90,10 @@ use neura_lab::{
 use neura_serve::cost::{analytic_class_cost, hybrid_scaled_cycles, CostModel};
 use neura_serve::policy::{DEFAULT_BATCH_TIMEOUT_S, DEFAULT_MAX_BATCH};
 use neura_serve::{
-    simulate_config, simulate_config_traced, ArrivalProcess, AutoscalePolicy, ClassCost, CostTable,
-    DispatchKind, FaultSpec, FleetMix, Policy, RequestClass, ScenarioSpec, ServeConfig,
-    ServeScenario, ServeSweep, ShapedStream, TenantMix, TenantSpec, Timeline, Workload,
+    simulate_config_parallel, simulate_config_traced_parallel, ArrivalProcess, AutoscalePolicy,
+    ClassCost, ClosedLoopSpec, CostTable, DispatchKind, EnginePlan, FaultSpec, FleetMix, Policy,
+    RequestClass, ScenarioSpec, ServeConfig, ServeScenario, ServeSweep, ShapedStream, TenantMix,
+    TenantSpec, Timeline, Workload,
 };
 use neura_sparse::DatasetCatalog;
 
@@ -93,6 +107,13 @@ const STREAM_SEED: u64 = 0x5EED_CAFE;
 /// Clients of the default closed-loop arm.
 const DEFAULT_CLIENTS: usize = 64;
 
+/// Clients of the `--speedup` demo scenario (closed loop, lane-parallel).
+const SPEEDUP_CLIENTS: usize = 100_000;
+
+/// Shards (one Tile-16 group) of the `--speedup` demo fleet — also the
+/// cap on the demo's lane count.
+const SPEEDUP_SHARDS: usize = 8;
+
 fn usage() -> String {
     let mut text =
         "usage: serve [--json [PATH]] [--arrival A]... [--rps X]... [--policy P]... [--shards N]...\n\
@@ -101,6 +122,7 @@ fn usage() -> String {
      \x20            [--duration S] [--dataset NAME]... [--max-batch N] [--batch-timeout-ms X]\n\
      \x20            [--scenario NAME]... [--queue-bound N] [--tenant SPEC]... [--fault SPEC]\n\
      \x20            [--trace [PATH]] [--profile [PATH]] [--window-ms X] [--cost-model M]\n\
+     \x20            [--epochs N] [--epoch-ms X] [--lanes L] [--no-meta] [--speedup]\n\
      \n\
      --json [PATH]         write a machine-readable artifact (default: target/artifacts/serve.json)\n\
      --arrival A           poisson | bursty (repeatable; default: poisson)\n\
@@ -138,6 +160,15 @@ fn usage() -> String {
      \x20                    (default: cycle = the cycle-accurate oracle; analytic = the\n\
      \x20                    closed-form neura_chip::analytic estimate, no simulations;\n\
      \x20                    hybrid = analytic rescaled through one cycle anchor per silicon)\n\
+     --epochs N            replay each scenario as N parallel-in-time epoch fragments\n\
+     \x20                    (merged results are byte-identical to the serial replay)\n\
+     --epoch-ms X          epoch width in simulated milliseconds (alternative to --epochs)\n\
+     --lanes L             split eligible closed-loop scenarios into L parallel\n\
+     \x20                    client/shard lanes (a scenario parameter, not a tuning knob)\n\
+     --no-meta             omit wall-clock/engine meta fields from the artifact (exact\n\
+     \x20                    byte-comparison across thread counts)\n\
+     --speedup             replay one large closed-loop lane scenario single-threaded and\n\
+     \x20                    on the full pool, assert identical outcomes, report speedup\n\
      scenario library:"
         .to_string();
     for sc in ScenarioSpec::library() {
@@ -173,6 +204,11 @@ struct Args {
     profile_path: Option<String>,
     window_ms: Option<f64>,
     cost_model: CostModel,
+    epochs: Option<usize>,
+    epoch_ms: Option<f64>,
+    lanes: Option<usize>,
+    no_meta: bool,
+    speedup: bool,
     passthrough: Vec<String>,
 }
 
@@ -204,6 +240,11 @@ fn parse_args() -> Args {
         profile_path: None,
         window_ms: None,
         cost_model: CostModel::default(),
+        epochs: None,
+        epoch_ms: None,
+        lanes: None,
+        no_meta: false,
+        speedup: false,
         passthrough: Vec::new(),
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -390,6 +431,29 @@ fn parse_args() -> Args {
                 parsed.cost_model = CostModel::parse(&raw)
                     .unwrap_or_else(|| bad_usage(&format!("unknown cost model {raw:?}")));
             }
+            "--epochs" => {
+                let raw = value("--epochs");
+                parsed.epochs = Some(match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => bad_usage(&format!("--epochs {raw:?} is not a positive integer")),
+                });
+            }
+            "--epoch-ms" => {
+                let raw = value("--epoch-ms");
+                parsed.epoch_ms = Some(match raw.parse::<f64>() {
+                    Ok(w) if w.is_finite() && w > 0.0 => w,
+                    _ => bad_usage(&format!("--epoch-ms {raw:?} is not a positive width")),
+                });
+            }
+            "--lanes" => {
+                let raw = value("--lanes");
+                parsed.lanes = Some(match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => bad_usage(&format!("--lanes {raw:?} is not a positive integer")),
+                });
+            }
+            "--no-meta" => parsed.no_meta = true,
+            "--speedup" => parsed.speedup = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -493,8 +557,9 @@ fn main() {
     if default_arms {
         tiles.extend([TileSize::Tile4, TileSize::Tile16, TileSize::Tile64]);
     }
-    if !scenario_specs.is_empty() {
-        // Scenario arms always run on a two-shard Tile-16 fleet.
+    if !scenario_specs.is_empty() || args.speedup {
+        // Scenario arms always run on a two-shard Tile-16 fleet, and the
+        // --speedup demo fleet is Tile-16 too.
         tiles.push(TileSize::Tile16);
     }
     tiles.sort_by_key(|t| t.label());
@@ -754,6 +819,20 @@ fn main() {
     let mix_len = args.mix.len();
     let window_s = args.window_ms.map(|ms| ms / 1e3).unwrap_or(duration_s / 50.0);
     let cli_tenants = (!args.tenants.is_empty()).then(|| TenantMix::new(args.tenants.clone()));
+    // The engine plan every replay runs under: serial unless --epochs /
+    // --epoch-ms / --lanes asked for parallel-in-time fragments. The merged
+    // results are byte-identical to the serial replay either way.
+    let mut plan = EnginePlan::serial();
+    if let Some(n) = args.epochs {
+        plan = plan.with_epochs(n);
+    }
+    if let Some(ms) = args.epoch_ms {
+        plan = plan.with_epoch_s(ms / 1e3);
+    }
+    if let Some(l) = args.lanes {
+        plan = plan.with_lanes(l);
+    }
+    let sweep_started = std::time::Instant::now();
     let outcomes = runner.run(&scenarios, |_, scenario: &ServeScenario| {
         let mut workload = scenario.workload_spec(duration_s, mix_len, &REQUEST_SHRINKS);
         // CLI tenants wrap the plain open arms (library arms carry their
@@ -777,13 +856,26 @@ fn main() {
             scenario.scenario.as_ref().and_then(|sc| sc.queue_bound).or(args.queue_bound);
         cfg.faults = fault.as_ref();
         if args.trace {
-            let (outcome, trace) = simulate_config_traced(&workload, &cfg);
+            let (outcome, trace) = simulate_config_traced_parallel(&workload, &cfg, &plan);
             let timeline = Timeline::build(&trace, &outcome, window_s);
             (outcome, Some(timeline))
         } else {
-            (simulate_config(&workload, &cfg), None)
+            (simulate_config_parallel(&workload, &cfg, &plan), None)
         }
     });
+    let sim_wall_s = sweep_started.elapsed().as_secs_f64();
+    // Measurement context rides along as document-level meta — never gated
+    // (trend diffs records only), and suppressed entirely by --no-meta so
+    // CI can byte-compare artifacts across thread counts.
+    if !args.no_meta {
+        session.set_meta("sim_wall_s", sim_wall_s);
+        session.set_meta("epochs", plan.epochs as f64);
+        session.set_meta("lanes", plan.lanes as f64);
+        session.set_meta("threads", runner.threads() as f64);
+        if let Some(ms) = args.epoch_ms {
+            session.set_meta("epoch_ms", ms);
+        }
+    }
 
     let mut timeline_artifact =
         Artifact::new("serve", neura_bench::scale_multiplier()).with_schema(TIMELINE_SCHEMA);
@@ -905,6 +997,61 @@ fn main() {
             .write(&path)
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         println!("wrote {} ({} records)", path.display(), profile_artifact.records.len());
+    }
+
+    if args.speedup {
+        // One large closed-loop scenario, lane-decomposed, replayed twice:
+        // pinned to one thread and on the full pool. Lanes are a scenario
+        // parameter, so both replays run the *same* lane plan — the engine
+        // guarantees the outcomes identical, and the wall-clock ratio is
+        // the thread-level speedup of the lane decomposition.
+        let lanes = args
+            .lanes
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+            .clamp(1, SPEEDUP_SHARDS);
+        let demo_fleet = FleetMix::uniform(TileSize::Tile16, SPEEDUP_SHARDS);
+        let fp = demo_fleet.groups[0].config.fingerprint();
+        let service_s = classes.iter().map(|&c| costs.service_seconds(&fp, c, 1)).sum::<f64>()
+            / classes.len() as f64;
+        let spec = ClosedLoopSpec {
+            clients: SPEEDUP_CLIENTS,
+            think_s: service_s,
+            duration_s: service_s * 12_500.0,
+            mix_size: mix_len,
+            shrinks: REQUEST_SHRINKS.to_vec(),
+            seed: derive_seed(STREAM_SEED, "speedup"),
+        };
+        let workload = Workload::Closed(spec);
+        let cfg =
+            ServeConfig::new(Policy::Fifo, &demo_fleet.groups, DispatchKind::LeastLoaded, &costs);
+        let lane_plan = EnginePlan::serial().with_lanes(lanes);
+        let pinned_plan = lane_plan.clone().with_threads(1);
+        let started = std::time::Instant::now();
+        let serial = simulate_config_parallel(&workload, &cfg, &pinned_plan);
+        let serial_wall_s = started.elapsed().as_secs_f64();
+        let started = std::time::Instant::now();
+        let parallel = simulate_config_parallel(&workload, &cfg, &lane_plan);
+        let parallel_wall_s = started.elapsed().as_secs_f64();
+        assert_eq!(serial, parallel, "lane replay must be thread-count invariant");
+        let ratio = serial_wall_s / parallel_wall_s.max(1e-9);
+        println!(
+            "\nspeedup demo: {} closed-loop clients on {} Tile-16 shards, {} lane(s), \
+             {} requests served:\n\
+             \x20 serial (1 thread) {:.3} s — parallel ({} threads) {:.3} s — {:.2}x",
+            SPEEDUP_CLIENTS,
+            SPEEDUP_SHARDS,
+            lanes,
+            serial.requests(),
+            serial_wall_s,
+            runner.threads(),
+            parallel_wall_s,
+            ratio,
+        );
+        if !args.no_meta {
+            session.set_meta("serial_wall_s", serial_wall_s);
+            session.set_meta("parallel_wall_s", parallel_wall_s);
+            session.set_meta("speedup", ratio);
+        }
     }
 
     session.finish();

@@ -390,6 +390,9 @@ fn traced_serve_emits_a_thread_invariant_timeline() {
         command
             .arg("--json")
             .arg(&path)
+            // Byte-compared across runs: strip the wall-clock meta block,
+            // which is the one intentionally non-deterministic part.
+            .arg("--no-meta")
             .env(neura_bench::SCALE_MULT_ENV, SMOKE_MULT)
             .env("NEURA_LAB_THREADS", threads);
         if let Some(trace_path) = trace {
@@ -526,11 +529,21 @@ fn profiled_runs_emit_thread_invariant_conserving_profiles() {
     let serve_exe = env!("CARGO_BIN_EXE_serve");
     let profile_two = json_dir.join("serve_profile_t2.json");
     let profile_eight = json_dir.join("serve_profile_t8.json");
-    let unprofiled = run(serve_exe, "serve_plain", "2", &[]);
-    let profiled_two =
-        run(serve_exe, "serve_t2", "2", &["--profile".as_ref(), profile_two.as_ref()]);
-    let profiled_eight =
-        run(serve_exe, "serve_t8", "8", &["--profile".as_ref(), profile_eight.as_ref()]);
+    // --no-meta on every byte-compared serve run: the wall-clock meta
+    // block is the one intentionally non-deterministic part.
+    let unprofiled = run(serve_exe, "serve_plain", "2", &["--no-meta".as_ref()]);
+    let profiled_two = run(
+        serve_exe,
+        "serve_t2",
+        "2",
+        &["--no-meta".as_ref(), "--profile".as_ref(), profile_two.as_ref()],
+    );
+    let profiled_eight = run(
+        serve_exe,
+        "serve_t8",
+        "8",
+        &["--no-meta".as_ref(), "--profile".as_ref(), profile_eight.as_ref()],
+    );
     assert_eq!(unprofiled, profiled_two, "profiling must not perturb the serve artifact");
     assert_eq!(profiled_two, profiled_eight);
     let profile_bytes = std::fs::read_to_string(&profile_two).expect("profile written");
@@ -632,15 +645,25 @@ fn cost_model_default_is_byte_identical_and_xval_is_thread_invariant() {
         std::fs::read_to_string(&path).expect("artifact written")
     };
 
-    let serve_default = run(env!("CARGO_BIN_EXE_serve"), "serve_default", "2", &[]);
-    let serve_cycle =
-        run(env!("CARGO_BIN_EXE_serve"), "serve_cycle", "2", &["--cost-model", "cycle"]);
+    // --no-meta on every byte-compared serve run: the wall-clock meta
+    // block is the one intentionally non-deterministic part.
+    let serve_default = run(env!("CARGO_BIN_EXE_serve"), "serve_default", "2", &["--no-meta"]);
+    let serve_cycle = run(
+        env!("CARGO_BIN_EXE_serve"),
+        "serve_cycle",
+        "2",
+        &["--no-meta", "--cost-model", "cycle"],
+    );
     assert_eq!(
         serve_default, serve_cycle,
         "an explicit --cost-model cycle run must be byte-identical to the default"
     );
-    let serve_analytic =
-        run(env!("CARGO_BIN_EXE_serve"), "serve_analytic", "2", &["--cost-model", "analytic"]);
+    let serve_analytic = run(
+        env!("CARGO_BIN_EXE_serve"),
+        "serve_analytic",
+        "2",
+        &["--no-meta", "--cost-model", "analytic"],
+    );
     assert_ne!(
         serve_default, serve_analytic,
         "the analytic run must at least record its cost_model param"
@@ -674,6 +697,9 @@ fn serve_is_thread_invariant_and_trend_diffs_directories() {
         let output = Command::new(env!("CARGO_BIN_EXE_serve"))
             .arg("--json")
             .arg(&path)
+            // Byte-compared across thread counts: strip the wall-clock
+            // meta block, the one intentionally non-deterministic part.
+            .arg("--no-meta")
             .env(neura_bench::SCALE_MULT_ENV, SMOKE_MULT)
             .env("NEURA_LAB_THREADS", threads)
             .output()

@@ -177,6 +177,13 @@ impl ArtifactSession {
         self.artifact.extend(records);
     }
 
+    /// Sets one document-level meta value (measurement context such as
+    /// wall-clock time — carried in the artifact but never gated, see
+    /// [`Artifact::set_meta`]).
+    pub fn set_meta(&mut self, key: impl Into<String>, value: f64) {
+        self.artifact.set_meta(key, value);
+    }
+
     /// Read access to the artifact built so far.
     pub fn artifact(&self) -> &Artifact {
         &self.artifact

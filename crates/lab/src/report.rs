@@ -607,6 +607,11 @@ pub struct Artifact {
     pub bin: String,
     /// The [`crate::scale_multiplier`] the run used (1 = paper scale).
     pub scale_mult: usize,
+    /// Document-level metadata in insertion order — measurement context
+    /// (wall-clock, parallelism) that is *not* gated: `trend` diffs only
+    /// [`Self::records`], so meta may vary run to run (wall-clock time
+    /// does) without breaking byte-identity gates on the records.
+    pub meta: Vec<(String, f64)>,
     /// All records, in emission order.
     pub records: Vec<RunRecord>,
 }
@@ -614,7 +619,27 @@ pub struct Artifact {
 impl Artifact {
     /// Creates an empty artifact for a binary at the given scale multiplier.
     pub fn new(bin: impl Into<String>, scale_mult: usize) -> Self {
-        Artifact { schema: SCHEMA.into(), bin: bin.into(), scale_mult, records: Vec::new() }
+        Artifact {
+            schema: SCHEMA.into(),
+            bin: bin.into(),
+            scale_mult,
+            meta: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Sets (or replaces) one document-level meta value.
+    pub fn set_meta(&mut self, key: impl Into<String>, value: f64) {
+        let key = key.into();
+        match self.meta.iter_mut().find(|(k, _)| *k == key) {
+            Some(entry) => entry.1 = value,
+            None => self.meta.push((key, value)),
+        }
+    }
+
+    /// Reads one document-level meta value.
+    pub fn meta_value(&self, key: &str) -> Option<f64> {
+        self.meta.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
     }
 
     /// Retags the artifact with a different schema (builder style) — used
@@ -641,55 +666,64 @@ impl Artifact {
 
     /// Converts to the JSON document model.
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::Object(vec![
+        let mut fields = vec![
             ("schema".into(), JsonValue::String(self.schema.clone())),
             ("bin".into(), JsonValue::String(self.bin.clone())),
             ("scale_mult".into(), JsonValue::Number(self.scale_mult as f64)),
-            (
-                "records".into(),
-                JsonValue::Array(
-                    self.records
-                        .iter()
-                        .map(|r| {
-                            let mut fields = vec![
-                                ("id".into(), JsonValue::String(r.id.clone())),
-                                (
-                                    "params".into(),
-                                    JsonValue::Object(
-                                        r.params
-                                            .iter()
-                                            .map(|(k, v)| (k.clone(), JsonValue::String(v.clone())))
-                                            .collect(),
-                                    ),
-                                ),
-                            ];
-                            fields.push((
-                                "metrics".into(),
-                                JsonValue::Array(
-                                    r.metrics
+        ];
+        if !self.meta.is_empty() {
+            fields.push((
+                "meta".into(),
+                JsonValue::Object(
+                    self.meta.iter().map(|(k, v)| (k.clone(), JsonValue::Number(*v))).collect(),
+                ),
+            ));
+        }
+        fields.push((
+            "records".into(),
+            JsonValue::Array(
+                self.records
+                    .iter()
+                    .map(|r| {
+                        let mut fields = vec![
+                            ("id".into(), JsonValue::String(r.id.clone())),
+                            (
+                                "params".into(),
+                                JsonValue::Object(
+                                    r.params
                                         .iter()
-                                        .map(|m| {
-                                            let mut pairs = vec![
-                                                ("name".into(), JsonValue::String(m.name.clone())),
-                                                ("value".into(), JsonValue::Number(m.value)),
-                                            ];
-                                            if let Some(unit) = &m.unit {
-                                                pairs.push((
-                                                    "unit".into(),
-                                                    JsonValue::String(unit.clone()),
-                                                ));
-                                            }
-                                            JsonValue::Object(pairs)
-                                        })
+                                        .map(|(k, v)| (k.clone(), JsonValue::String(v.clone())))
                                         .collect(),
                                 ),
-                            ));
-                            JsonValue::Object(fields)
-                        })
-                        .collect(),
-                ),
+                            ),
+                        ];
+                        fields.push((
+                            "metrics".into(),
+                            JsonValue::Array(
+                                r.metrics
+                                    .iter()
+                                    .map(|m| {
+                                        let mut pairs = vec![
+                                            ("name".into(), JsonValue::String(m.name.clone())),
+                                            ("value".into(), JsonValue::Number(m.value)),
+                                        ];
+                                        if let Some(unit) = &m.unit {
+                                            pairs.push((
+                                                "unit".into(),
+                                                JsonValue::String(unit.clone()),
+                                            ));
+                                        }
+                                        JsonValue::Object(pairs)
+                                    })
+                                    .collect(),
+                            ),
+                        ));
+                        JsonValue::Object(fields)
+                    })
+                    .collect(),
             ),
-        ])
+        ));
+        JsonValue::Object(fields)
     }
 
     /// Rebuilds an artifact from its JSON form (inverse of [`Self::to_json`]).
@@ -707,6 +741,13 @@ impl Artifact {
         let scale_mult =
             doc.get("scale_mult").and_then(JsonValue::as_f64).ok_or("missing \"scale_mult\"")?
                 as usize;
+        let mut meta = Vec::new();
+        if let Some(JsonValue::Object(pairs)) = doc.get("meta") {
+            for (key, value) in pairs {
+                let value = value.as_f64().ok_or("non-numeric meta value")?;
+                meta.push((key.clone(), value));
+            }
+        }
         let mut records = Vec::new();
         for raw in doc.get("records").and_then(JsonValue::as_array).ok_or("missing \"records\"")? {
             let mut record = RunRecord::new(
@@ -738,7 +779,7 @@ impl Artifact {
             }
             records.push(record);
         }
-        Ok(Artifact { schema: schema.to_string(), bin, scale_mult, records })
+        Ok(Artifact { schema: schema.to_string(), bin, scale_mult, meta, records })
     }
 
     /// The serialised bytes of this artifact (what [`Self::write`] puts on

@@ -216,6 +216,27 @@ impl ClosedLoopSpec {
     /// non-finite, the duration is not positive, the mix is empty, or no
     /// shrink factor is given.
     pub fn clients(&self) -> (ClosedLoopClients, Vec<(f64, usize)>) {
+        self.lane_clients(0, 1)
+    }
+
+    /// The lane `lane` slice of a `lanes`-way round-robin split of the
+    /// population: global clients `lane, lane + lanes, lane + 2·lanes, …`
+    /// renumbered to lane-local indices `0, 1, 2, …`. Every client's RNG
+    /// stream is seeded from its *global* index, so the union of all
+    /// lanes draws exactly the think times and request classes the
+    /// undecomposed population (`lane_clients(0, 1)`, i.e.
+    /// [`Self::clients`]) draws — the decomposition moves clients between
+    /// lanes without resampling them.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::clients`], plus when `lane >= lanes`.
+    pub fn lane_clients(
+        &self,
+        lane: usize,
+        lanes: usize,
+    ) -> (ClosedLoopClients, Vec<(f64, usize)>) {
+        assert!(lanes >= 1 && lane < lanes, "lane index must lie within the lane count");
         assert!(self.clients >= 1, "a closed loop needs at least one client");
         assert!(
             self.think_s.is_finite() && self.think_s >= 0.0,
@@ -228,14 +249,14 @@ impl ClosedLoopSpec {
         assert!(self.mix_size >= 1, "the serving mix needs at least one dataset");
         assert!(!self.shrinks.is_empty(), "at least one request shrink factor is required");
 
-        let mut rngs = Vec::with_capacity(self.clients);
-        let mut first = Vec::with_capacity(self.clients);
-        for client in 0..self.clients {
+        let mut rngs = Vec::new();
+        let mut first = Vec::new();
+        for (local, client) in (lane..self.clients).step_by(lanes).enumerate() {
             let seed = neura_lab::spec::derive_seed(self.seed, &format!("client{client}"));
             let mut rng = StdRng::seed_from_u64(seed);
             let start = exp_draw(&mut rng, self.think_s);
             rngs.push(rng);
-            first.push((start, client));
+            first.push((start, local));
         }
         (ClosedLoopClients { spec: self.clone(), rngs }, first)
     }

@@ -37,6 +37,33 @@ impl ShardGroup {
     }
 }
 
+/// The number of shards lane `lane` receives in a `lanes`-way round-robin
+/// split of a `shards`-shard group: `shards / lanes`, plus one for the
+/// first `shards % lanes` lanes. The shares sum to `shards` exactly.
+pub fn lane_share(shards: usize, lane: usize, lanes: usize) -> usize {
+    shards / lanes + usize::from(lane < shards % lanes)
+}
+
+/// Lane `lane` of a `lanes`-way split of a fleet: every group keeps its
+/// name and chip configuration but holds only its [`lane_share`] of the
+/// shards, so the lane prices requests against the same cost-table
+/// fingerprints as the full fleet. Used by the engine's closed-loop lane
+/// decomposition (`crate::engine`), which guarantees every group's share
+/// is non-empty by clamping the lane count to the smallest group.
+///
+/// # Panics
+///
+/// Panics when `lane >= lanes`, or when a group's share would be empty.
+pub fn lane_groups(groups: &[ShardGroup], lane: usize, lanes: usize) -> Vec<ShardGroup> {
+    assert!(lanes >= 1 && lane < lanes, "lane index must lie within the lane count");
+    groups
+        .iter()
+        .map(|g| {
+            ShardGroup::new(g.name.clone(), g.config.clone(), lane_share(g.shards, lane, lanes))
+        })
+        .collect()
+}
+
 /// Aggregate counters of one shard over a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ShardStats {

@@ -29,20 +29,27 @@
 //! metrics. Every request is accounted for exactly once: served (finite
 //! non-negative latency), shed (the [`SHED_LATENCY_S`] sentinel), or
 //! crashed-and-redispatched until served.
-
-use std::collections::{BTreeMap, VecDeque};
+//!
+//! The event loop itself lives in [`crate::engine`] as a resumable
+//! fragment runner; the entry points here are thin wrappers running an
+//! [`EnginePlan::serial`] plan, so their signatures and artifacts are
+//! unchanged while `engine` adds epoch- and lane-parallel execution.
 
 use neura_lab::RunRecord;
 
-use crate::arrivals::{ClosedLoopClients, Request, Workload};
-use crate::autoscale::{AutoscalePolicy, Decision, ScaleEvent};
-use crate::cost::{CostTable, RequestClass};
+use crate::arrivals::{Request, Workload};
+use crate::autoscale::{AutoscalePolicy, ScaleEvent};
+use crate::cost::CostTable;
 use crate::dispatch::DispatchKind;
-use crate::fault::{CrashEvent, FaultPlan, FaultSpec};
-use crate::fleet::{GroupStats, ShardFleet, ShardGroup, ShardStats};
+use crate::engine::{
+    simulate_config_parallel, simulate_config_traced_parallel, simulate_stream_config_parallel,
+    simulate_stream_config_traced_parallel, EnginePlan,
+};
+use crate::fault::{CrashEvent, FaultSpec};
+use crate::fleet::{GroupStats, ShardGroup, ShardStats};
 use crate::policy::Policy;
-use crate::scenario::{TenantMix, TENANT_BURST_S};
-use crate::telemetry::{ShedReason, Trace, TraceEvent, TraceGroup, TraceTenant};
+use crate::scenario::TenantMix;
+use crate::telemetry::Trace;
 
 /// The latency sentinel a shed request carries in
 /// [`ServeOutcome::latencies_s`]. Deliberately a *finite* negative value —
@@ -407,238 +414,6 @@ impl ServeOutcome {
     }
 }
 
-/// The central backlog, shaped by the policy.
-enum Backlog {
-    /// FIFO / SJF: one queue in arrival order.
-    Single(VecDeque<usize>),
-    /// Batching: one arrival-ordered queue per request class.
-    Classed(BTreeMap<RequestClass, VecDeque<usize>>),
-}
-
-impl Backlog {
-    fn new(policy: Policy) -> Self {
-        match policy {
-            Policy::Fifo | Policy::Sjf => Backlog::Single(VecDeque::new()),
-            Policy::BatchByDataset { .. } => Backlog::Classed(BTreeMap::new()),
-        }
-    }
-
-    fn push(&mut self, id: usize, class: RequestClass) {
-        match self {
-            Backlog::Single(queue) => queue.push_back(id),
-            Backlog::Classed(queues) => queues.entry(class).or_default().push_back(id),
-        }
-    }
-
-    /// Returns a unit taken by [`Self::take_ready`] to the head of its
-    /// queue, preserving order — used when the dispatch policy holds the
-    /// unit for busy preferred silicon, and when a crash returns a
-    /// victim's in-flight batch for re-dispatch.
-    fn push_front(&mut self, unit: &[usize], class: RequestClass) {
-        match self {
-            Backlog::Single(queue) => {
-                for &id in unit.iter().rev() {
-                    queue.push_front(id);
-                }
-            }
-            Backlog::Classed(queues) => {
-                let queue = queues.entry(class).or_default();
-                for &id in unit.iter().rev() {
-                    queue.push_front(id);
-                }
-            }
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            Backlog::Single(queue) => queue.len(),
-            Backlog::Classed(queues) => queues.values().map(VecDeque::len).sum(),
-        }
-    }
-
-    /// The earliest future time at which a currently-unready unit becomes
-    /// ready by timeout (batching policy only).
-    fn next_deadline(&self, now: f64, policy: Policy, requests: &[Request]) -> Option<f64> {
-        let (Backlog::Classed(queues), Policy::BatchByDataset { max_batch, timeout_s }) =
-            (self, policy)
-        else {
-            return None;
-        };
-        queues
-            .values()
-            .filter(|q| !class_ready(q, requests, max_batch, timeout_s, now))
-            .filter_map(|q| q.front().map(|&id| requests[id].arrival_s + timeout_s))
-            .fold(None, |best, t| Some(best.map_or(t, |b: f64| b.min(t))))
-    }
-
-    /// Removes and returns the next ready dispatch unit at `now`, if any.
-    fn take_ready(
-        &mut self,
-        now: f64,
-        policy: Policy,
-        requests: &[Request],
-        costs: &CostTable,
-    ) -> Option<Vec<usize>> {
-        match (self, policy) {
-            (Backlog::Single(queue), Policy::Fifo) => queue.pop_front().map(|id| vec![id]),
-            (Backlog::Single(queue), Policy::Sjf) => {
-                // Smallest estimated work first; arrival order (the queue
-                // order) breaks ties because `min_by_key` keeps the first
-                // minimum.
-                let pos = queue
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, &id)| (costs.weight(requests[id].class), id))
-                    .map(|(pos, _)| pos)?;
-                queue.remove(pos).map(|id| vec![id])
-            }
-            (Backlog::Classed(queues), Policy::BatchByDataset { max_batch, timeout_s }) => {
-                // Among ready classes, serve the one whose head request has
-                // waited longest (ties broken by class order — the BTreeMap
-                // key order — so selection is deterministic).
-                let class = queues
-                    .iter()
-                    .filter(|(_, q)| class_ready(q, requests, max_batch, timeout_s, now))
-                    .min_by(|(ca, qa), (cb, qb)| {
-                        let (ha, hb) = (head_arrival(qa, requests), head_arrival(qb, requests));
-                        ha.partial_cmp(&hb).expect("arrival times are finite").then(ca.cmp(cb))
-                    })
-                    .map(|(class, _)| *class)?;
-                let queue = queues.get_mut(&class).expect("selected class is present");
-                let take = queue.len().min(max_batch);
-                let batch: Vec<usize> = queue.drain(..take).collect();
-                if queue.is_empty() {
-                    queues.remove(&class);
-                }
-                Some(batch)
-            }
-            _ => unreachable!("backlog shape always matches the policy"),
-        }
-    }
-}
-
-fn head_arrival(queue: &VecDeque<usize>, requests: &[Request]) -> f64 {
-    queue.front().map(|&id| requests[id].arrival_s).unwrap_or(f64::INFINITY)
-}
-
-fn class_ready(
-    queue: &VecDeque<usize>,
-    requests: &[Request],
-    max_batch: usize,
-    timeout_s: f64,
-    now: f64,
-) -> bool {
-    queue.len() >= max_batch || head_arrival(queue, requests) + timeout_s <= now
-}
-
-/// Where the next request comes from: a pre-materialised open-loop stream
-/// or a closed-loop client population driven by completions.
-enum Source<'a> {
-    Open { stream: &'a [Request], cursor: usize },
-    Closed { clients: ClosedLoopClients, pending: Vec<(f64, usize)>, owners: Vec<usize> },
-}
-
-impl Source<'_> {
-    /// The next arrival time, if any request is still due.
-    fn next_time(&self) -> Option<f64> {
-        match self {
-            Source::Open { stream, cursor } => stream.get(*cursor).map(|r| r.arrival_s),
-            Source::Closed { pending, .. } => pending
-                .iter()
-                .map(|&(t, _)| t)
-                .fold(None, |best, t| Some(best.map_or(t, |b: f64| b.min(t)))),
-        }
-    }
-
-    /// Moves every request due at or before `now` into `arrived`.
-    fn pop_due(&mut self, now: f64, arrived: &mut Vec<Request>) {
-        match self {
-            Source::Open { stream, cursor } => {
-                while let Some(request) = stream.get(*cursor) {
-                    if request.arrival_s > now {
-                        break;
-                    }
-                    debug_assert_eq!(request.id, arrived.len(), "open streams arrive in id order");
-                    arrived.push(*request);
-                    *cursor += 1;
-                }
-            }
-            Source::Closed { clients, pending, owners } => {
-                // Issue due clients in (time, client) order so ids are
-                // deterministic even when issue times tie.
-                loop {
-                    let due = pending
-                        .iter()
-                        .enumerate()
-                        .filter(|&(_, &(t, _))| t <= now)
-                        .min_by(|(_, a), (_, b)| {
-                            a.0.partial_cmp(&b.0)
-                                .expect("issue times are finite")
-                                .then(a.1.cmp(&b.1))
-                        })
-                        .map(|(pos, _)| pos);
-                    let Some(pos) = due else { break };
-                    let (at, client) = pending.swap_remove(pos);
-                    let class = clients.draw_class(client);
-                    arrived.push(Request { id: arrived.len(), arrival_s: at, class, tenant: 0 });
-                    owners.push(client);
-                }
-            }
-        }
-    }
-
-    /// Tells the source a request completed (closed loops schedule the
-    /// owning client's next request; open streams don't care).
-    fn on_complete(&mut self, id: usize, finish: f64) {
-        if let Source::Closed { clients, pending, owners } = self {
-            let client = owners[id];
-            if let Some(at) = clients.next_issue_at(client, finish) {
-                pending.push((at, client));
-            }
-        }
-    }
-}
-
-/// A scheduled fleet-size change waiting for its provisioning delay.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct PendingOp {
-    effect_s: f64,
-    decision_s: f64,
-    group: usize,
-    delta: i64,
-}
-
-/// One tenant's admission token bucket: `rate` tokens per second up to a
-/// `burst` ceiling of [`TENANT_BURST_S`] seconds' worth (at least 1);
-/// admitting a request costs one token. Starts full, so a tenant may
-/// admit at most `burst + rate × t` requests by time `t`.
-#[derive(Debug, Clone, Copy)]
-struct TenantGate {
-    rate: f64,
-    burst: f64,
-    tokens: f64,
-    last_s: f64,
-}
-
-impl TenantGate {
-    fn new(rate: f64) -> Self {
-        let burst = (rate * TENANT_BURST_S).max(1.0);
-        TenantGate { rate, burst, tokens: burst, last_s: 0.0 }
-    }
-
-    fn admit(&mut self, now: f64) -> bool {
-        self.tokens = (self.tokens + (now - self.last_s) * self.rate).min(self.burst);
-        self.last_s = now;
-        if self.tokens >= 1.0 {
-            self.tokens -= 1.0;
-            true
-        } else {
-            false
-        }
-    }
-}
-
 /// One scenario's full serving configuration: the scheduling policy,
 /// fleet, dispatch and cost model every replay needs, plus the optional
 /// production knobs — autoscaling, a bounded queue that sheds, a tenant
@@ -775,22 +550,7 @@ pub fn simulate_stream(
 ///
 /// As [`simulate`].
 pub fn simulate_config(workload: &Workload, cfg: &ServeConfig<'_>) -> ServeOutcome {
-    match workload {
-        Workload::Open(spec) => {
-            let stream = spec.generate();
-            simulate_stream_config(&stream, cfg)
-        }
-        Workload::Shaped(shaped) => {
-            let stream = shaped.generate();
-            let tenants = cfg.tenants.or(shaped.tenants.as_ref());
-            run(Source::Open { stream: &stream, cursor: 0 }, cfg, tenants, None)
-        }
-        Workload::Closed(spec) => {
-            let (clients, pending) = spec.clients();
-            let source = Source::Closed { clients, pending, owners: Vec::new() };
-            run(source, cfg, cfg.tenants, None)
-        }
-    }
+    simulate_config_parallel(workload, cfg, &EnginePlan::serial())
 }
 
 /// [`simulate_config`] that additionally records the full request
@@ -806,24 +566,7 @@ pub fn simulate_config(workload: &Workload, cfg: &ServeConfig<'_>) -> ServeOutco
 ///
 /// As [`simulate`].
 pub fn simulate_config_traced(workload: &Workload, cfg: &ServeConfig<'_>) -> (ServeOutcome, Trace) {
-    let mut trace = Trace::default();
-    let outcome = match workload {
-        Workload::Open(spec) => {
-            let stream = spec.generate();
-            run(Source::Open { stream: &stream, cursor: 0 }, cfg, cfg.tenants, Some(&mut trace))
-        }
-        Workload::Shaped(shaped) => {
-            let stream = shaped.generate();
-            let tenants = cfg.tenants.or(shaped.tenants.as_ref());
-            run(Source::Open { stream: &stream, cursor: 0 }, cfg, tenants, Some(&mut trace))
-        }
-        Workload::Closed(spec) => {
-            let (clients, pending) = spec.clients();
-            let source = Source::Closed { clients, pending, owners: Vec::new() };
-            run(source, cfg, cfg.tenants, Some(&mut trace))
-        }
-    };
-    (outcome, trace)
+    simulate_config_traced_parallel(workload, cfg, &EnginePlan::serial())
 }
 
 /// [`simulate_config`] over an explicit, pre-generated open-loop stream.
@@ -832,11 +575,7 @@ pub fn simulate_config_traced(workload: &Workload, cfg: &ServeConfig<'_>) -> (Se
 ///
 /// As [`simulate`].
 pub fn simulate_stream_config(requests: &[Request], cfg: &ServeConfig<'_>) -> ServeOutcome {
-    assert!(
-        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
-        "request streams must be sorted by arrival time"
-    );
-    run(Source::Open { stream: requests, cursor: 0 }, cfg, cfg.tenants, None)
+    simulate_stream_config_parallel(requests, cfg, &EnginePlan::serial())
 }
 
 /// [`simulate_stream_config`] that additionally records the lifecycle
@@ -849,423 +588,14 @@ pub fn simulate_stream_config_traced(
     requests: &[Request],
     cfg: &ServeConfig<'_>,
 ) -> (ServeOutcome, Trace) {
-    assert!(
-        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
-        "request streams must be sorted by arrival time"
-    );
-    let mut trace = Trace::default();
-    let outcome =
-        run(Source::Open { stream: requests, cursor: 0 }, cfg, cfg.tenants, Some(&mut trace));
-    (outcome, trace)
-}
-
-/// The shared event loop behind every workload shape.
-///
-/// With `trace` set, every lifecycle step additionally appends a
-/// [`TraceEvent`] (in event order, so the trace is time-sorted); with
-/// `None`, every hook is a skipped `if let` and the loop's behaviour and
-/// cost are exactly the untraced ones.
-fn run(
-    mut source: Source<'_>,
-    cfg: &ServeConfig<'_>,
-    tenants: Option<&TenantMix>,
-    mut trace: Option<&mut Trace>,
-) -> ServeOutcome {
-    let policy = cfg.policy;
-    let costs = cfg.costs;
-    if let Some(trace) = trace.as_deref_mut() {
-        trace.groups = cfg
-            .groups
-            .iter()
-            .map(|g| TraceGroup { name: g.name.clone(), initial_shards: g.shards })
-            .collect();
-        trace.tenants = tenants.map_or_else(Vec::new, |mix| {
-            mix.tenants()
-                .iter()
-                .map(|t| TraceTenant { name: t.name.clone(), slo_s: t.slo_s })
-                .collect()
-        });
-    }
-    let capacities: Option<Vec<usize>> = cfg.autoscale.map(|p| {
-        cfg.groups
-            .iter()
-            .map(|g| {
-                assert!(
-                    (p.min_shards..=p.max_shards).contains(&g.shards),
-                    "autoscaled group {:?} starts with {} shards, outside [{}, {}]",
-                    g.name,
-                    g.shards,
-                    p.min_shards,
-                    p.max_shards
-                );
-                p.max_shards
-            })
-            .collect()
-    });
-    let mut fleet = ShardFleet::new(cfg.groups, capacities.as_deref());
-    let mut plan: Option<FaultPlan> = cfg.faults.map(|f| f.plan(fleet.group_count()));
-    let dispatcher = cfg.dispatch.policy();
-    let mut backlog = Backlog::new(policy);
-    // Admission control sheds open-loop arrivals only: closed-loop clients
-    // self-limit (they wait for their response instead of being dropped),
-    // and shedding their zero-think re-issues would spin the clock.
-    let admission = matches!(source, Source::Open { .. });
-    let mut gates: Vec<Option<TenantGate>> = tenants.map_or_else(Vec::new, |mix| {
-        mix.tenants().iter().map(|t| t.rate_limit_rps.map(TenantGate::new)).collect()
-    });
-    let mut tenant_offered = vec![0u64; gates.len()];
-    let mut tenant_shed = vec![0u64; gates.len()];
-    let mut arrived: Vec<Request> = Vec::new();
-    let mut latencies: Vec<f64> = Vec::new();
-    let mut shed_ids: Vec<usize> = Vec::new();
-    let (mut shed_queue, mut shed_limit) = (0u64, 0u64);
-    let mut in_flight: Vec<Option<Vec<usize>>> = vec![None; fleet.capacity()];
-    let mut batch_sizes = Vec::new();
-    let mut crash_events: Vec<CrashEvent> = Vec::new();
-    let mut provision_failures = 0u64;
-    let mut scale_events: Vec<ScaleEvent> = Vec::new();
-    let mut pending_ops: Vec<PendingOp> = Vec::new();
-    let mut next_check = cfg.autoscale.map(|p| p.check_interval_s);
-    let mut now = 0.0f64;
-    let mut makespan = 0.0f64;
-    let mut depth_integral = 0.0f64;
-    let mut depth_max = 0usize;
-
-    loop {
-        // Dispatch every unit that is ready while an idle shard exists; the
-        // dispatch policy picks *which* idle shard serves each unit, or
-        // holds it (returning the unit to the queue head) to wait for busy
-        // preferred silicon — in which case the next release is the event
-        // that re-offers it. Latencies finalise at *completion*, not here:
-        // a crash may still retract the batch.
-        loop {
-            let idle = fleet.idle_shards(now);
-            if idle.is_empty() {
-                break;
-            }
-            let Some(batch) = backlog.take_ready(now, policy, &arrived, costs) else {
-                break;
-            };
-            let class = arrived[batch[0]].class;
-            let Some(shard) = dispatcher.choose(&fleet, &idle, class, batch.len(), now, costs)
-            else {
-                debug_assert!(
-                    fleet.next_busy_free_at(now).is_finite(),
-                    "a policy may only hold a batch while some shard is busy"
-                );
-                backlog.push_front(&batch, class);
-                break;
-            };
-            let healthy = costs.service_seconds(fleet.shard_fingerprint(shard), class, batch.len());
-            let degraded = plan.as_ref().map_or(1.0, |p| p.multiplier(fleet.group_of(shard)));
-            let service_s = healthy * degraded;
-            fleet.dispatch(shard, now, service_s, batch.len() as u64);
-            if let Some(trace) = trace.as_deref_mut() {
-                trace.events.push(TraceEvent::Dispatch {
-                    at_s: now,
-                    shard,
-                    group: fleet.group_of(shard),
-                    requests: batch.len(),
-                    service_s,
-                });
-            }
-            in_flight[shard] = Some(batch);
-        }
-
-        // The next event: an arrival, a batch completing, a batch timeout
-        // expiring, an injected crash, a scheduled fleet change taking
-        // effect, or an autoscaler check (crashes and checks only while
-        // work remains — otherwise they could tick forever). After the
-        // dispatch loop each of these lies in the future, and every
-        // finite-time source below is consumed when due, so the loop
-        // always makes progress.
-        let work_remains = source.next_time().is_some()
-            || backlog.len() > 0
-            || !pending_ops.is_empty()
-            || in_flight.iter().any(Option::is_some);
-        let mut t_next = f64::INFINITY;
-        if let Some(t) = source.next_time() {
-            t_next = t_next.min(t);
-        }
-        for (slot, batch) in in_flight.iter().enumerate() {
-            if batch.is_some() {
-                t_next = t_next.min(fleet.busy_until(slot));
-            }
-        }
-        if let Some(deadline) = backlog.next_deadline(now, policy, &arrived) {
-            t_next = t_next.min(deadline);
-        }
-        for op in &pending_ops {
-            t_next = t_next.min(op.effect_s);
-        }
-        if work_remains {
-            if let Some(at) = plan.as_ref().and_then(FaultPlan::next_crash_at) {
-                t_next = t_next.min(at);
-            }
-            if let Some(check) = next_check {
-                t_next = t_next.min(check);
-            }
-        }
-        if !t_next.is_finite() {
-            break;
-        }
-        fleet.accrue(t_next - now);
-        depth_integral += backlog.len() as f64 * (t_next - now);
-        now = t_next;
-
-        // 1. Completions due at `now` finalise, in slot order: the batch
-        //    really finished, so its latencies are now facts no crash can
-        //    retract.
-        for (slot, entry) in in_flight.iter_mut().enumerate() {
-            if entry.is_some() && fleet.busy_until(slot) <= now {
-                let batch = entry.take().expect("slot checked above");
-                let finish = fleet.busy_until(slot);
-                for &id in &batch {
-                    latencies[id] = finish - arrived[id].arrival_s;
-                    source.on_complete(id, finish);
-                    if let Some(trace) = trace.as_deref_mut() {
-                        trace.events.push(TraceEvent::Complete {
-                            at_s: finish,
-                            id,
-                            tenant: arrived[id].tenant,
-                            latency_s: latencies[id],
-                        });
-                    }
-                }
-                makespan = makespan.max(finish);
-                batch_sizes.push(batch.len());
-            }
-        }
-
-        // 2. Arrivals due at `now` pass admission into the backlog (after
-        //    completions, so a zero-think closed-loop re-issue lands in
-        //    the same event). An arrival sheds when the backlog is at its
-        //    bound, or when its tenant's token bucket is empty.
-        let first_new = arrived.len();
-        source.pop_due(now, &mut arrived);
-        for req in &arrived[first_new..] {
-            let (id, class, tenant) = (req.id, req.class, req.tenant);
-            latencies.push(f64::NAN);
-            if let Some(count) = tenant_offered.get_mut(tenant) {
-                *count += 1;
-            }
-            if let Some(trace) = trace.as_deref_mut() {
-                trace.events.push(TraceEvent::Arrival { at_s: now, id, tenant });
-            }
-            let mut reason = ShedReason::QueueFull;
-            let admit = if !admission {
-                true
-            } else if cfg.queue_bound.is_some_and(|bound| backlog.len() >= bound) {
-                shed_queue += 1;
-                false
-            } else if let Some(gate) = gates.get_mut(tenant).and_then(Option::as_mut) {
-                let pass = gate.admit(now);
-                if !pass {
-                    shed_limit += 1;
-                    reason = ShedReason::RateLimited;
-                }
-                pass
-            } else {
-                true
-            };
-            if admit {
-                backlog.push(id, class);
-                if let Some(trace) = trace.as_deref_mut() {
-                    trace.events.push(TraceEvent::Admit { at_s: now, id });
-                }
-            } else {
-                latencies[id] = SHED_LATENCY_S;
-                shed_ids.push(id);
-                if let Some(count) = tenant_shed.get_mut(tenant) {
-                    *count += 1;
-                }
-                if let Some(trace) = trace.as_deref_mut() {
-                    trace.events.push(TraceEvent::Shed { at_s: now, id, tenant, reason });
-                }
-                source.on_complete(id, now);
-            }
-        }
-        depth_max = depth_max.max(backlog.len());
-
-        // 3. Injected crashes due at `now`: the victim is the busiest
-        //    active shard of the scheduled group (ties to the lowest
-        //    slot), its in-flight batch returns to the queue head —
-        //    re-queued work bypasses admission; admitted work is never
-        //    shed — and the slot deactivates. A crash that would empty
-        //    the fleet, or lands in a group with no active shard, is
-        //    skipped: the simulation models degraded service, not total
-        //    outage.
-        if let Some(plan) = plan.as_mut() {
-            while let Some((at, group)) = plan.pop_crash_due(now) {
-                debug_assert!(at <= now, "crashes pop when due");
-                if fleet.active_shards() <= 1 {
-                    continue;
-                }
-                let victim = (0..fleet.capacity())
-                    .filter(|&s| fleet.group_of(s) == group && fleet.is_active(s))
-                    .max_by(|&a, &b| {
-                        fleet
-                            .busy_until(a)
-                            .partial_cmp(&fleet.busy_until(b))
-                            .expect("busy horizons are finite")
-                            .then(b.cmp(&a))
-                    });
-                let Some(victim) = victim else { continue };
-                let batch = in_flight[victim].take();
-                let redispatched = batch.as_ref().map_or(0, Vec::len);
-                let lost_service_s =
-                    if redispatched > 0 { (fleet.busy_until(victim) - now).max(0.0) } else { 0.0 };
-                if let Some(batch) = batch {
-                    let class = arrived[batch[0]].class;
-                    backlog.push_front(&batch, class);
-                }
-                fleet.crash(victim, now, redispatched as u64);
-                crash_events.push(CrashEvent { at_s: now, shard: victim, group, redispatched });
-                if let Some(trace) = trace.as_deref_mut() {
-                    trace.events.push(TraceEvent::Crash {
-                        at_s: now,
-                        shard: victim,
-                        group,
-                        redispatched,
-                        lost_service_s,
-                    });
-                }
-                depth_max = depth_max.max(backlog.len());
-            }
-        }
-
-        // 4. Provisioning effects due at `now` apply, in (effect,
-        //    decision, group, delta) order. A scale-up rolls the fault
-        //    plan's provisioning die first — a failed roll leaves the
-        //    slot inactive and counts a provisioning failure. Scale-downs
-        //    go through the policy's shared retire path, which re-checks
-        //    the per-group floor and idleness at effect time.
-        while let Some(pos) = pending_ops
-            .iter()
-            .enumerate()
-            .filter(|(_, op)| op.effect_s <= now)
-            .min_by(|(_, a), (_, b)| {
-                a.effect_s
-                    .partial_cmp(&b.effect_s)
-                    .expect("effect times are finite")
-                    .then(a.decision_s.partial_cmp(&b.decision_s).expect("finite"))
-                    .then(a.group.cmp(&b.group))
-                    .then(a.delta.cmp(&b.delta))
-            })
-            .map(|(pos, _)| pos)
-        {
-            let op = pending_ops.remove(pos);
-            let applied = if op.delta > 0 {
-                if plan.as_mut().is_none_or(FaultPlan::provision_succeeds) {
-                    fleet.activate(op.group, now).is_some()
-                } else {
-                    provision_failures += 1;
-                    if let Some(trace) = trace.as_deref_mut() {
-                        trace
-                            .events
-                            .push(TraceEvent::ProvisionFailure { at_s: now, group: op.group });
-                    }
-                    false
-                }
-            } else {
-                cfg.autoscale
-                    .expect("pending ops only exist under an autoscaler")
-                    .retire_idle(&mut fleet, op.group, now)
-                    .is_some()
-            };
-            if applied {
-                scale_events.push(ScaleEvent {
-                    decision_s: op.decision_s,
-                    effect_s: now,
-                    group: op.group,
-                    delta: op.delta,
-                    active_total: fleet.active_shards(),
-                });
-                if let Some(trace) = trace.as_deref_mut() {
-                    trace.events.push(TraceEvent::Scale {
-                        at_s: now,
-                        group: op.group,
-                        delta: op.delta,
-                        active_total: fleet.active_shards(),
-                    });
-                }
-            }
-        }
-
-        // 5. The autoscaler's periodic decision.
-        if let (Some(policy_as), Some(check)) = (cfg.autoscale, next_check) {
-            if check <= now {
-                let mut pending = vec![0i64; fleet.group_count()];
-                for op in &pending_ops {
-                    pending[op.group] += op.delta;
-                }
-                match policy_as.decide(&fleet, backlog.len(), now, &pending) {
-                    Decision::Hold => {}
-                    Decision::Up { group } => pending_ops.push(PendingOp {
-                        effect_s: now + policy_as.provision_delay_s,
-                        decision_s: now,
-                        group,
-                        delta: 1,
-                    }),
-                    Decision::Down { group } => pending_ops.push(PendingOp {
-                        effect_s: now + policy_as.provision_delay_s,
-                        decision_s: now,
-                        group,
-                        delta: -1,
-                    }),
-                }
-                next_check = Some(check + policy_as.check_interval_s);
-            }
-        }
-    }
-
-    // Provisioned capacity is paid for until the last batch completes.
-    if makespan > now {
-        fleet.accrue(makespan - now);
-    }
-
-    debug_assert!(
-        latencies.iter().all(|&l| l >= 0.0 || l == SHED_LATENCY_S),
-        "every request is served or shed, exactly once"
-    );
-    let tenant_outcomes = tenants.map_or_else(Vec::new, |mix| {
-        mix.tenants()
-            .iter()
-            .enumerate()
-            .map(|(i, t)| TenantOutcome {
-                name: t.name.clone(),
-                slo_s: t.slo_s,
-                offered: tenant_offered[i],
-                shed: tenant_shed[i],
-            })
-            .collect()
-    });
-    ServeOutcome {
-        latencies_s: latencies,
-        arrivals_s: arrived.iter().map(|r| r.arrival_s).collect(),
-        tenants: arrived.iter().map(|r| r.tenant).collect(),
-        shed: shed_ids,
-        shed_queue,
-        shed_limit,
-        tenant_outcomes,
-        crash_events,
-        provision_failures,
-        makespan_s: makespan,
-        queue_depth_mean: if makespan > 0.0 { depth_integral / makespan } else { 0.0 },
-        queue_depth_max: depth_max,
-        batch_sizes,
-        shard_stats: fleet.stats().to_vec(),
-        shard_groups: fleet.shard_groups().to_vec(),
-        group_stats: fleet.group_stats(),
-        scale_events,
-    }
+    simulate_stream_config_traced_parallel(requests, cfg, &EnginePlan::serial())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::arrivals::{ArrivalProcess, ClosedLoopSpec, StreamSpec};
-    use crate::cost::ClassCost;
+    use crate::cost::{ClassCost, RequestClass};
     use crate::scenario::{RateShape, ShapedStream, TenantSpec};
     use neura_chip::config::ChipConfig;
 

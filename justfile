@@ -7,7 +7,7 @@
 bins := "table1 table3 table4 table5 fig11 fig13 fig14 fig15 fig16 fig17 ablation"
 
 # Run everything CI runs.
-ci: fmt clippy build test artifacts tune serve trace xval profile
+ci: fmt clippy build test artifacts tune serve serve-parallel trace xval profile
 
 # Formatting check (apply with `just fmt-fix`).
 fmt:
@@ -64,6 +64,34 @@ tune-paper:
 serve:
     NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin serve -- --json
     ls -l target/artifacts/serve.json
+
+# Parallel-in-time serving engine checks: the smoke sweep replayed as 3
+# epoch fragments on 2 and 8 workers must reproduce the serial artifact
+# byte for byte (--no-meta strips the wall-clock meta so cmp is exact);
+# the serial artifact is additionally gated byte-for-byte against the
+# committed baseline (re-baseline deliberately with
+# `just serve-rebaseline`); and the --speedup demo replays one 100k-client
+# closed-loop lane scenario pinned to one thread and on the full pool,
+# asserting identical outcomes and reporting the measured speedup.
+serve-parallel:
+    NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin serve -- \
+        --json target/artifacts/serve-serial.json --no-meta
+    NEURA_LAB_THREADS=2 NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin serve -- \
+        --json target/artifacts/serve-epochs-t2.json --no-meta --epochs 3
+    NEURA_LAB_THREADS=8 NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin serve -- \
+        --json target/artifacts/serve-epochs-t8.json --no-meta --epochs 3
+    cmp target/artifacts/serve-serial.json target/artifacts/serve-epochs-t2.json
+    cmp target/artifacts/serve-serial.json target/artifacts/serve-epochs-t8.json
+    cargo run --release -q -p neura_bench --bin trend -- \
+        baselines/serve-smoke.json target/artifacts/serve-serial.json --fail-above 0
+    NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin serve -- --speedup --lanes 8
+
+# Refresh the committed serving smoke baseline after an intentional
+# serving-layer change (review the trend diff first).
+serve-rebaseline:
+    NEURA_BENCH_SCALE_MULT=32 cargo run --release -q -p neura_bench --bin serve -- \
+        --json target/artifacts/serve-serial.json --no-meta
+    cp target/artifacts/serve-serial.json baselines/serve-smoke.json
 
 # The serving sweep with request-lifecycle tracing on: besides
 # serve.json (byte-identical to an untraced run), writes the windowed
